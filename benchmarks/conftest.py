@@ -1,0 +1,25 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Each benchmark runs one experiment exactly once (they are end-to-end
+simulations, not microbenchmarks), prints the regenerated table (run
+with ``-s`` to see it inline; it is also attached as the benchmark's
+``extra_info``), and asserts the paper's shape claims.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_report(benchmark):
+    """Run an experiment once under pytest-benchmark and print it."""
+
+    def runner(experiment, *args, **kwargs):
+        report = benchmark.pedantic(
+            experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        benchmark.extra_info["report"] = str(report)
+        print()
+        print(report)
+        return report
+
+    return runner

@@ -1,0 +1,12 @@
+"""Ablation: Algorithms 1 and 2 on/off."""
+
+from repro.harness.ablations import ablation_adjustments
+
+
+def test_ablation_adjustments(run_report):
+    report = run_report(ablation_adjustments)
+    rows = report.as_dict()
+    # All variants complete and stay within a tight band of each other
+    # on this preference-balanced workload.
+    values = [r["total_time"] for r in rows.values()]
+    assert max(values) < 1.5 * min(values)

@@ -1,0 +1,13 @@
+"""Ablation: concatenated vs per-query subgraphs (Section IV)."""
+
+from repro.harness.ablations import ablation_concat
+
+
+def test_ablation_concat(run_report):
+    report = run_report(ablation_concat)
+    concat, per_query = report.rows
+    # On high-connectivity graphs, concatenation reuses node features
+    # across queries: less traffic, less time (why the paper
+    # concatenates ogbl-ppa and ogbl-ddi).
+    assert per_query[2] > concat[2]  # fill bytes
+    assert per_query[3] > concat[3]  # total time

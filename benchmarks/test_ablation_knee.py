@@ -1,0 +1,14 @@
+"""Ablation: knee sizing vs min-time and unit allocations (III-C3)."""
+
+from repro.harness.ablations import ablation_knee
+
+
+def test_ablation_knee(run_report):
+    report = run_report(ablation_knee)
+    rows = report.as_dict()
+    knee = rows["knee"]
+    # The strict minimiser over-provisions (more arrays per job) for
+    # no gain; unit allocations forgo the replication speedup.
+    assert rows["min"]["mean_arrays"] > knee["mean_arrays"]
+    assert rows["min"]["total_time"] >= knee["total_time"] * 0.95
+    assert rows["unit"]["total_time"] > knee["total_time"]

@@ -1,0 +1,10 @@
+"""Ablation: replication on/off (III-C3, III-D3)."""
+
+from repro.harness.ablations import ablation_replication
+
+
+def test_ablation_replication(run_report):
+    report = run_report(ablation_replication)
+    with_rep = report.rows[0][1]
+    without = report.rows[1][1]
+    assert without > with_rep

@@ -1,0 +1,11 @@
+"""Ablation: B-stationary vs C-stationary SpMM (III-D3)."""
+
+from repro.harness.ablations import ablation_stationary
+
+
+def test_ablation_stationary(run_report):
+    report = run_report(ablation_stationary)
+    rows = report.as_dict()
+    # Paper (ogbl-collab): 4.3x memory latency, 42x compute.
+    assert rows["memory (load) penalty"]["median"] > 2.0
+    assert rows["compute penalty"]["median"] > 2.0

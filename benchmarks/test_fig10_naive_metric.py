@@ -1,0 +1,15 @@
+"""Figure 10: the naive nnz/H_128 classifier."""
+
+from repro.harness.experiments import fig10_naive_metric
+
+
+def test_fig10_naive_metric(run_report):
+    report = run_report(fig10_naive_metric)
+    prefs = report.column("ReRAM preferred")
+    # Both preferences occur, split by the threshold.
+    assert "yes" in prefs and "no" in prefs
+    ratios = report.column("t_SRAM/t_ReRAM")
+    metrics = report.column("metric nnz/H_128")
+    # Rows are metric-sorted; the ratio trends upward with the metric.
+    assert ratios[-1] > ratios[0]
+    assert metrics == sorted(metrics)

@@ -1,0 +1,18 @@
+"""Figure 12: execution time breakdown per device mixture."""
+
+from repro.harness.experiments import fig12_breakdown
+
+
+def test_fig12_breakdown(run_report):
+    report = run_report(fig12_breakdown)
+    rows = report.as_dict()
+    # CPU slowest; GPU pays visible memcpy; DRAM-only is the worst
+    # in-memory mixture; SRAM+ReRAM lands close to All (paper V-B1).
+    assert rows["CPU"]["total"] > rows["GPU"]["total"]
+    assert rows["GPU"]["memcpy"] > 0
+    in_memory = ("SRAM", "DRAM", "ReRAM", "SRAM+DRAM", "SRAM+ReRAM", "All")
+    assert rows["DRAM"]["total"] == max(rows[m]["total"] for m in in_memory)
+    assert rows["All"]["total"] == min(rows[m]["total"] for m in in_memory)
+    assert rows["SRAM+ReRAM"]["total"] <= 1.25 * rows["All"]["total"]
+    # SpMM dominates the kernel time on the full system.
+    assert rows["All"]["spmm"] >= rows["All"]["vadd"]

@@ -1,0 +1,19 @@
+"""Figure 13: application time vs the GPU+CPU baseline."""
+
+import math
+
+from repro.harness.experiments import fig13_application_time
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fig13_application_time(run_report):
+    report = run_report(fig13_application_time)
+    gpu = report.column("speedup_vs_gpu")
+    cpu = report.column("speedup_vs_cpu")
+    # Paper: 4.80x geomean over GPU, 241x over CPU.
+    assert 3.0 < _geomean(gpu) < 7.0
+    assert _geomean(cpu) > 80
+    assert all(s > 1 for s in gpu)

@@ -1,0 +1,14 @@
+"""Figure 14: GNN energy, MLIMP vs GPU."""
+
+import math
+
+from repro.harness.experiments import fig14_energy
+
+
+def test_fig14_energy(run_report):
+    report = run_report(fig14_energy)
+    ratios = report.column("gpu/mlimp")
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    # Paper: 5.02x better energy efficiency than the GPU.
+    assert 3.0 < geomean < 10.0
+    assert all(r > 1 for r in ratios)

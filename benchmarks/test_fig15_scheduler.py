@@ -1,0 +1,14 @@
+"""Figure 15: scheduler x predictor for SpMM."""
+
+from repro.harness.experiments import fig15_scheduler_predictor
+
+
+def test_fig15_scheduler_predictor(run_report):
+    report = run_report(fig15_scheduler_predictor)
+    rows = {(r[0], r[1]): r[2] for r in report.rows}
+    # Global scheduling is best under accurate prediction (paper V-B3).
+    assert rows[("global", "oracle")] <= rows[("adaptive", "oracle")]
+    # The MLP predictor's gap to the oracle is small (paper: <1%;
+    # we allow a few percent either way).
+    gap = rows[("global", "mlp")] / rows[("global", "oracle")]
+    assert 0.85 < gap < 1.15

@@ -1,0 +1,15 @@
+"""Figure 16: fraction of the oracle throughput."""
+
+import statistics
+
+from repro.harness.experiments import fig16_oracle_fraction
+
+
+def test_fig16_oracle_fraction(run_report):
+    report = run_report(fig16_oracle_fraction)
+    naive = report.column("naive_frac")
+    mlimp = report.column("mlimp_frac")
+    # Paper: naive 34%, MLIMP 77%.
+    assert statistics.mean(mlimp) > 0.55
+    assert statistics.mean(naive) < statistics.mean(mlimp)
+    assert all(m >= n for m, n in zip(mlimp, naive))

@@ -1,0 +1,14 @@
+"""Figure 17: data-parallel kernel time per memory."""
+
+from repro.harness.experiments import fig17_app_kernels
+
+
+def test_fig17_app_kernels(run_report):
+    report = run_report(fig17_app_kernels)
+    prefs = set(report.column("preferred"))
+    # Preferences split across all three memory layers.
+    assert prefs == {"sram", "dram", "reram"}
+    rows = report.as_dict()
+    assert rows["blackscholes"]["preferred"] == "sram"
+    assert rows["db_bitmap"]["preferred"] == "dram"
+    assert rows["streamcluster_b"]["preferred"] == "reram"

@@ -1,0 +1,15 @@
+"""Figure 18: multiprogramming combos, MLIMP vs single layers."""
+
+import math
+
+from repro.harness.experiments import fig18_multiprogramming
+
+
+def test_fig18_multiprogramming(run_report):
+    report = run_report(fig18_multiprogramming)
+    ratios = report.column("best_single/ALL")
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    # Paper: 7.1x over single-layer IMP; MLIMP never loses to a
+    # single layer.
+    assert geomean > 3.0
+    assert all(r >= 1.0 for r in ratios)

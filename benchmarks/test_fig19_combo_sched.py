@@ -1,0 +1,14 @@
+"""Figure 19: scheduling approaches on the combos."""
+
+from repro.harness.experiments import fig19_combo_schedulers
+
+
+def test_fig19_combo_schedulers(run_report):
+    report = run_report(fig19_combo_schedulers)
+    wins = report.column("global_wins").count("yes")
+    # Deterministic kernel times favour global scheduling on almost
+    # all scenarios (paper V-C).
+    assert wins >= len(report.rows) // 2 + 1
+    for row in report.rows:
+        # The sophisticated schedulers never lose to naive LJF badly.
+        assert min(row[2], row[3]) <= row[1] * 1.05

@@ -1,0 +1,15 @@
+"""Figure 1: memory technology characteristics."""
+
+from repro.harness.experiments import fig1_characteristics
+
+
+def test_fig1_characteristics(run_report):
+    report = run_report(fig1_characteristics)
+    rows = report.as_dict()
+    assert len(rows) == 6
+    # Small cells do not imply parallelism (the paper's point).
+    assert rows["DRAM"]["cell_F2"] < rows["SRAM"]["cell_F2"]
+    assert rows["DRAM"]["parallelism(vs SRAM)"] < 1.0
+    assert rows["NAND"]["parallelism(vs SRAM)"] < 1.0
+    # NVM latency is 1-2 orders of magnitude above SRAM.
+    assert rows["ReRAM"]["read_ns"] >= 10 * rows["SRAM"]["read_ns"]

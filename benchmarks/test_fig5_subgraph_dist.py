@@ -1,0 +1,11 @@
+"""Figure 5: 3-hop subgraph node distribution."""
+
+from repro.harness.experiments import fig5_subgraph_distribution
+
+
+def test_fig5_subgraph_distribution(run_report):
+    report = run_report(fig5_subgraph_distribution)
+    rows = report.as_dict()
+    # Heavy-tailed spread: the max far exceeds the 10th percentile.
+    assert rows["p100"]["num_nodes"] > 3 * rows["p10"]["num_nodes"]
+    assert rows["p50"]["num_nodes"] > rows["p10"]["num_nodes"]

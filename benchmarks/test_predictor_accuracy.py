@@ -1,0 +1,13 @@
+"""III-E: performance predictor accuracy and the GBT comparison."""
+
+from repro.harness.experiments import predictor_accuracy
+
+
+def test_predictor_accuracy(run_report):
+    report = run_report(predictor_accuracy)
+    rows = {(r[0], r[1]): r for r in report.rows}
+    # Paper: R^2 ~ 0.995, RMSE ~ 22% of the mean.
+    assert rows[("mlp(16,8)", "sram")][2] > 0.9
+    assert rows[("mlp(16,8)", "sram")][3] < 0.3
+    # GBT needs far more parameter storage than the small MLP.
+    assert rows[("gbt(150x4)", "sram")][4] > 5 * rows[("mlp(16,8)", "sram")][4]

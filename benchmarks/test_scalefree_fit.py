@@ -1,0 +1,11 @@
+"""III-C3: scale-free model fit quality."""
+
+from repro.harness.experiments import scalefree_fit
+
+
+def test_scalefree_fit(run_report):
+    report = run_report(scalefree_fit)
+    rows = report.as_dict()
+    # Paper: median R^2 of 0.998.
+    assert rows["median R^2"]["value"] > 0.99
+    assert 0.7 < rows["median beta"]["value"] <= 1.0

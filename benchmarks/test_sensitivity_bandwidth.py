@@ -1,0 +1,39 @@
+"""Sensitivity: shared DDR4 bandwidth vs GNN makespan.
+
+The dispatcher routes every non-DRAM fill through a processor-sharing
+pipe; this bench shows the workload moving from compute-bound to
+fill-bound as the channel bandwidth shrinks -- the contention effect
+the pipe-aware Algorithm 1 accounts for.
+"""
+
+from repro.core import Dispatcher, GlobalScheduler, OraclePredictor
+from repro.harness import Report, build_workload
+from repro.sim import DDR4Config
+
+
+def bandwidth_sensitivity() -> Report:
+    workload = build_workload("citation", num_batches=2, seed=3)
+    report = Report(
+        title="Sensitivity -- makespan vs DDR4 bandwidth",
+        columns=["channels", "bandwidth_GBps", "total_time"],
+    )
+    for channels, per_channel in ((8, 19.2), (4, 19.2), (1, 19.2), (1, 4.8)):
+        ddr4 = DDR4Config(channels=channels, channel_bandwidth_gbps=per_channel)
+        dispatcher = Dispatcher(workload.system, ddr4)
+        scheduler = GlobalScheduler(OraclePredictor())
+        total = sum(
+            dispatcher.run(scheduler.plan(jobs, workload.system)).makespan
+            for jobs in workload.jobs_per_batch
+        )
+        report.add_row(channels, ddr4.total_bandwidth_gbps, total)
+    report.note("fills dominate once the shared pipe narrows")
+    return report
+
+
+def test_bandwidth_sensitivity(run_report):
+    report = run_report(bandwidth_sensitivity)
+    times = report.column("total_time")
+    # Monotone within scheduling noise: less bandwidth, never faster.
+    assert all(b >= a * 0.98 for a, b in zip(times, times[1:]))
+    # Starving the pipe visibly hurts.
+    assert times[-1] > 1.2 * times[0]

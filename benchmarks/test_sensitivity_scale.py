@@ -1,0 +1,62 @@
+"""Sensitivity: scheduler ordering across device scales.
+
+The GNN experiments run devices scaled by DEVICE_SCALE (see
+harness/config.py); this bench checks the headline scheduler ordering
+-- sophisticated scheduling beats naive LJF and tracks the oracle --
+is not an artifact of one scale choice.
+"""
+
+from repro.core import (
+    AdaptiveScheduler,
+    Dispatcher,
+    GlobalScheduler,
+    LJFScheduler,
+    MLIMPSystem,
+    OraclePredictor,
+    oracle_makespan,
+)
+from repro.gnn import DATASETS, GCNConfig, batch_jobs, generate, sample_batches
+from repro.harness import Report, scaled_specs
+
+
+def scale_sensitivity() -> Report:
+    spec = DATASETS["citation"]
+    graph = generate("citation")
+    batches = sample_batches(
+        graph, num_batches=2, batch_size=48, hops=3, fanout=spec.fanout, seed=3
+    )
+    config = GCNConfig.three_layer(spec.feature_dim)
+    report = Report(
+        title="Sensitivity -- oracle fractions vs device scale",
+        columns=["scale", "ljf_frac", "adaptive_frac", "global_frac"],
+    )
+    predictor = OraclePredictor()
+    for scale in (16, 32, 64, 128):
+        specs = scaled_specs(scale)
+        system = MLIMPSystem(specs=specs)
+        dispatcher = Dispatcher(system)
+        jobs_per_batch = [
+            batch_jobs(b, config, specs, batch_id=i) for i, b in enumerate(batches)
+        ]
+        oracle = sum(oracle_makespan(jobs, system) for jobs in jobs_per_batch)
+        fractions = []
+        for scheduler in (
+            LJFScheduler(predictor),
+            AdaptiveScheduler(predictor),
+            GlobalScheduler(predictor),
+        ):
+            total = sum(
+                dispatcher.run(scheduler.plan(jobs, system)).makespan
+                for jobs in jobs_per_batch
+            )
+            fractions.append(round(oracle / total, 2))
+        report.add_row(scale, *fractions)
+    report.note("sophisticated > naive at every scale")
+    return report
+
+
+def test_scale_sensitivity(run_report):
+    report = run_report(scale_sensitivity)
+    for _, ljf, adaptive, global_ in report.rows:
+        assert max(adaptive, global_) > ljf
+        assert 0 < ljf <= 1.01 and 0 < global_ <= 1.01

@@ -1,0 +1,15 @@
+"""Section V-B3: predictor-noise tolerance stress test."""
+
+from repro.harness.experiments import stress_noise_tolerance
+
+
+def test_stress_noise_tolerance(run_report):
+    report = run_report(stress_noise_tolerance)
+    rows = report.rows
+    # At high noise the adaptive scheduler wins (paper's crossover).
+    high_noise = [r for r in rows if r[1] >= 0.6]
+    assert any(r[4] == "yes" for r in high_noise)
+    # Makespans grow with noise for both schedulers.
+    batch64 = [r for r in rows if r[0] == 64]
+    assert batch64[-1][2] > batch64[0][2]
+    assert batch64[-1][3] > batch64[0][3]

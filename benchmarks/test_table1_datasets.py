@@ -1,0 +1,13 @@
+"""Table I: dataset details."""
+
+from repro.harness.experiments import table1_datasets
+
+
+def test_table1_datasets(run_report):
+    report = run_report(table1_datasets)
+    rows = report.as_dict()
+    assert set(rows) == {"collab", "citation", "ppa", "ddi", "products"}
+    # Density ordering of the analogs matches Table I's originals.
+    assert rows["ddi"]["analog_avg_deg"] > rows["ppa"]["analog_avg_deg"]
+    assert rows["ppa"]["analog_avg_deg"] > rows["citation"]["analog_avg_deg"]
+    assert rows["ppa"]["concat"] == "yes" and rows["ddi"]["concat"] == "yes"

@@ -1,0 +1,14 @@
+"""Table II: data-parallel applications and combos."""
+
+from repro.harness.experiments import table2_applications
+
+
+def test_table2_applications(run_report):
+    report = run_report(table2_applications)
+    rows = report.as_dict()
+    assert len(rows) == 10
+    # Streamcluster has two input sizes; DB has two algorithms.
+    assert {"streamcluster_a", "streamcluster_b"} <= set(rows)
+    assert {"db_bitmap", "db_scan"} <= set(rows)
+    # Every app participates in at least one combination.
+    assert all(r["combos"] != "-" for r in rows.values())

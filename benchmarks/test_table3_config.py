@@ -1,0 +1,17 @@
+"""Table III: MLIMP configurations (exact reproduction)."""
+
+import pytest
+
+from repro.harness.experiments import table3_configurations
+
+
+def test_table3_configurations(run_report):
+    report = run_report(table3_configurations)
+    rows = report.as_dict()
+    assert rows["sram"]["MOPS(2)"] == pytest.approx(8.278, abs=0.01)
+    assert rows["sram"]["MOPS(4)"] == pytest.approx(2.070, abs=0.01)
+    assert rows["dram"]["MOPS(2)"] == pytest.approx(0.199, abs=0.001)
+    assert rows["reram"]["MOPS(2)"] == pytest.approx(2.5, abs=0.01)
+    assert rows["sram"]["cyc/op(2)"] == 302
+    assert rows["dram"]["cyc/op(2)"] == 1510
+    assert rows["reram"]["cyc/op(2)"] == 8

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""GNN inference on MLIMP: the paper's headline case study (Section V-B).
+
+Samples 3-hop subgraph batches from a synthetic OGB-analog graph, lowers
+the 3-layer GCN into MLIMP jobs, trains the two-stage MLP performance
+predictor on held-out subgraphs, and compares the three schedulers
+(naive LJF, adaptive, global) against the oracle bound and the GPU/CPU
+baselines.
+
+Run:  python examples/gnn_inference.py [dataset]
+      dataset in {collab, citation, ppa, ddi, products}; default collab.
+"""
+
+import sys
+
+from repro.core import (
+    AdaptiveScheduler,
+    GlobalScheduler,
+    LJFScheduler,
+    OraclePredictor,
+    oracle_makespan,
+)
+from repro.harness import build_workload, run_workload
+from repro.memories import MemoryKind
+
+
+def main(dataset: str = "collab") -> None:
+    print(f"building workload for '{dataset}' ...")
+    workload = build_workload(dataset, num_batches=3)
+    print(
+        f"  {len(workload.all_jobs)} jobs over {len(workload.batches)} batches "
+        f"({workload.num_queries} queries)"
+    )
+
+    # The paper's predictor: per-mother-graph two-stage MLP (H_w, cycles).
+    print("training the MLP performance predictor ...")
+    mlp = workload.train_predictor(epochs=150)
+    sample = workload.spmm_jobs()[0]
+    truth = sample.profile(MemoryKind.SRAM).t_compute_unit
+    predicted = mlp.predict_unit_compute(sample, MemoryKind.SRAM)
+    print(f"  sample SpMM: true {truth * 1e6:.1f} us, predicted {predicted * 1e6:.1f} us")
+
+    oracle = sum(oracle_makespan(jobs, workload.system) for jobs in workload.jobs_per_batch)
+    print(f"\noracle (perfect balancing): {oracle * 1e3:.2f} ms")
+    for scheduler in (
+        LJFScheduler(OraclePredictor()),
+        AdaptiveScheduler(OraclePredictor()),
+        GlobalScheduler(mlp),
+    ):
+        summary = run_workload(workload, scheduler)
+        label = scheduler.name + (" + MLP predictor" if scheduler.name == "global" else "")
+        print(
+            f"  {label:24s} {summary.total_makespan * 1e3:6.2f} ms  "
+            f"({oracle / summary.total_makespan:.0%} of oracle)"
+        )
+
+    gpu = workload.gpu_time()
+    cpu = workload.cpu_time()
+    best = run_workload(workload, GlobalScheduler(OraclePredictor())).total_makespan
+    print(f"\nbaselines: GPU {gpu * 1e3:.2f} ms ({gpu / best:.1f}x slower), "
+          f"CPU {cpu * 1e3:.1f} ms ({cpu / best:.0f}x slower)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "collab")

@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig16            # one experiment
+    python -m repro run fig13 fig14      # several
+    python -m repro run all              # everything (minutes)
+    python -m repro specs                # Table III device summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _registry() -> dict:
+    from .harness.ablations import ABLATIONS
+    from .harness.experiments import EXPERIMENTS
+
+    registry = dict(EXPERIMENTS)
+    registry.update({f"ablation-{name}": fn for name, fn in ABLATIONS.items()})
+    return registry
+
+
+def cmd_list() -> int:
+    registry = _registry()
+    width = max(len(name) for name in registry)
+    for name, fn in registry.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name.ljust(width)}  {doc}")
+    return 0
+
+
+def cmd_specs() -> int:
+    from .memories import DEFAULT_SPECS
+
+    for kind, spec in DEFAULT_SPECS.items():
+        print(
+            f"{kind.value:6s} {spec.name:24s} {spec.num_arrays:6d} arrays  "
+            f"{spec.total_alus / 1e6:6.2f}M ALUs  {spec.capacity_mb:8.0f} MB  "
+            f"{spec.clock_mhz:6.0f} MHz  MAC {spec.mac_cycles_2op} cyc"
+        )
+    return 0
+
+
+def cmd_run(names: list[str]) -> int:
+    registry = _registry()
+    if names == ["all"]:
+        names = list(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("use 'python -m repro list'", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        report = registry[name]()
+        print(report)
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MLIMP (MICRO 2022) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("specs", help="print the Table III device summary")
+    run = sub.add_parser("run", help="run experiments by name (or 'all')")
+    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "specs":
+        return cmd_specs()
+    return cmd_run(args.names)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Data-parallel applications (Table II) and multiprogramming combos."""
+
+from .base import AppSpec, app_profile, make_app_jobs
+from .combos import COMBOS, combo_jobs, combo_names
+from .library import APPLICATIONS, app, app_names
+
+__all__ = [
+    "AppSpec",
+    "app_profile",
+    "make_app_jobs",
+    "COMBOS",
+    "combo_jobs",
+    "combo_names",
+    "APPLICATIONS",
+    "app",
+    "app_names",
+]

@@ -1,0 +1,143 @@
+"""Data-parallel application model (paper III-D1, III-F, Table II).
+
+Each application is a wide-SIMD kernel in the IMP execution model: a
+per-element DFG applied to a large element stream, cross-compiled for
+every memory target with *deterministic* cycle counts ("for both
+targets the latency of the compute kernels can be calculated
+deterministically", Section IV) -- so the scheduler uses profiling
+rather than the learned predictor (approach (b) of III-F: an
+input-dependent number of jobs with a fixed loop count).
+
+Device preference emerges from two axes the paper calls out:
+
+* the instruction mix (bulk-bitwise kernels favour in-DRAM compute,
+  multiply/transcendental-heavy kernels favour in-SRAM, dot-product
+  kernels favour the ReRAM crossbar), and
+* the working-set size: a dataset larger than a device's capacity
+  forces ``n_iter`` load/compute rounds (Eq. 1), so multi-GB tables
+  run in place in DRAM but thrash a 40 MB cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.job import Job, JobPerfProfile
+from ..isa.compiler import CompiledKernel, compile_dfg
+from ..isa.dfg import DFG
+from ..memories.base import MemoryKind, MemorySpec
+
+__all__ = ["AppSpec", "app_profile", "make_app_jobs"]
+
+#: Fraction of a device an app iteration may occupy as its unit
+#: allocation (leaves room for concurrent jobs).
+_UNIT_CAP_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One Table II application.
+
+    ``total_elements`` is the whole input stream, split evenly over
+    ``num_jobs`` MLIMP jobs; ``bytes_per_element`` sizes the resident
+    working set (state the kernel keeps in memory per element).
+    """
+
+    name: str
+    domain: str
+    kernel: Callable[[], DFG]
+    total_elements: int
+    num_jobs: int
+    bytes_per_element: int
+    #: Sequential passes over the resident data (iterative algorithms
+    #: like kmeans/streamcluster re-run the kernel on the same working
+    #: set each iteration; single-pass streams leave this at 1).  The
+    #: data-reuse opportunity is what replication exploits (III-C3).
+    reuse_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_elements < 1 or self.num_jobs < 1:
+            raise ValueError("elements and job count must be positive")
+        if self.bytes_per_element < 1:
+            raise ValueError("bytes_per_element must be positive")
+        if self.reuse_iterations < 1:
+            raise ValueError("reuse_iterations must be positive")
+
+    @property
+    def elements_per_job(self) -> int:
+        return max(1, self.total_elements // self.num_jobs)
+
+    @property
+    def working_bytes_per_job(self) -> int:
+        return self.elements_per_job * self.bytes_per_element
+
+
+def app_profile(spec: MemorySpec, app: AppSpec, kernel: CompiledKernel) -> JobPerfProfile:
+    """Ground-truth profile of one of the app's jobs on ``spec``."""
+    if kernel.target is not spec.kind:
+        raise ValueError("kernel compiled for a different target")
+    elements = app.elements_per_job
+    arrays_needed = max(1, math.ceil(app.working_bytes_per_job / spec.geometry.bytes))
+    cap = max(1, int(spec.num_arrays * _UNIT_CAP_FRACTION))
+    unit_arrays = min(arrays_needed, cap)
+    n_iter = math.ceil(arrays_needed / unit_arrays)
+
+    elements_per_iter = math.ceil(elements / n_iter)
+    lanes = unit_arrays * spec.usable_lanes(None)  # streaming kernels pack fully
+    waves = max(1, math.ceil(elements_per_iter / lanes))
+    t_compute_unit = spec.seconds(
+        waves * kernel.cycles_per_element * app.reuse_iterations
+    )
+
+    stream_bytes_per_iter = kernel.input_bytes_per_element * elements_per_iter
+    t_load = spec.fill_seconds(stream_bytes_per_iter)
+    # Data-parallel elements are independent: a bigger allocation
+    # *partitions* the stream across more arrays (each element is
+    # still loaded exactly once), unlike the GEMM/SpMM kernels whose
+    # stationary operands must be *replicated*.  Only a per-partition
+    # setup copy is charged.
+    t_replica = spec.copy_seconds(stream_bytes_per_iter / max(1, waves))
+
+    return JobPerfProfile(
+        unit_arrays=unit_arrays,
+        t_load=t_load,
+        t_replica_unit=t_replica,
+        t_compute_unit=t_compute_unit,
+        waves_unit=waves,
+        n_iter=n_iter,
+        fill_bytes=float(stream_bytes_per_iter),
+        compute_energy_j=kernel.compute_energy_j(elements) * app.reuse_iterations,
+        vector_width=None,
+    )
+
+
+def make_app_jobs(
+    app: AppSpec,
+    specs: dict[MemoryKind, MemorySpec],
+    prefix: str = "",
+) -> list[Job]:
+    """All MLIMP jobs of one application launch."""
+    dfg = app.kernel()
+    kernels = {kind: compile_dfg(dfg, spec) for kind, spec in specs.items()}
+    jobs = []
+    for i in range(app.num_jobs):
+        profiles = {
+            kind: app_profile(spec, app, kernels[kind])
+            for kind, spec in specs.items()
+        }
+        jobs.append(
+            Job(
+                job_id=f"{prefix}{app.name}/{i}",
+                kernel="app",
+                profiles=profiles,
+                tags={
+                    "app": app.name,
+                    "domain": app.domain,
+                    "elements": app.elements_per_job,
+                    "frontend_ops": kernels[next(iter(kernels))].frontend_ops,
+                },
+            )
+        )
+    return jobs

@@ -1,0 +1,41 @@
+"""Multiprogramming scenarios (Table II's combination columns A-G).
+
+The paper launches sets of four applications together and schedules
+their jobs across the in-memory devices; combinations were chosen to
+exhibit different device preferences (e.g. A favours SRAM, F favours
+DRAM+ReRAM).
+"""
+
+from __future__ import annotations
+
+from ..core.job import Job
+from ..memories.base import MemoryKind, MemorySpec
+from .base import make_app_jobs
+from .library import app
+
+__all__ = ["COMBOS", "combo_jobs", "combo_names"]
+
+#: Table II combination columns.
+COMBOS: dict[str, tuple[str, ...]] = {
+    "A": ("blackscholes", "fluidanimate", "streamcluster_a", "crypto"),
+    "B": ("streamcluster_b", "backprop", "kmeans", "bitap"),
+    "C": ("blackscholes", "fluidanimate", "db_bitmap", "db_scan"),
+    "D": ("streamcluster_b", "backprop", "crypto", "db_bitmap"),
+    "E": ("blackscholes", "streamcluster_a", "db_scan", "bitap"),
+    "F": ("streamcluster_b", "kmeans", "crypto", "db_bitmap"),
+    "G": ("fluidanimate", "backprop", "kmeans", "bitap"),
+}
+
+
+def combo_names() -> list[str]:
+    return list(COMBOS)
+
+
+def combo_jobs(name: str, specs: dict[MemoryKind, MemorySpec]) -> list[Job]:
+    """All jobs of one multiprogramming scenario."""
+    if name not in COMBOS:
+        raise KeyError(f"unknown combination {name!r}; known: {combo_names()}")
+    jobs: list[Job] = []
+    for app_name in COMBOS[name]:
+        jobs.extend(make_app_jobs(app(app_name), specs, prefix=f"{name}/"))
+    return jobs

@@ -1,0 +1,262 @@
+"""The Table II application library.
+
+Kernels are per-element SIMD DFGs whose instruction mixes follow the
+published kernel characteristics of each benchmark:
+
+* **Blackscholes** (Parsec, finance): the option-pricing formula --
+  transcendental-heavy (exp2/log2/sqrt, divisions) on a small stream.
+* **Fluidanimate** (Parsec, fluid dynamics): force computation --
+  mixed multiply/add with a reciprocal square root per interaction.
+* **Streamcluster** (Parsec, data mining): distance evaluations --
+  MAC chains plus a min-reduction; two input sizes A (small) and B
+  (large), as in the paper.
+* **Backprop** (Rodinia, pattern recognition): layer updates -- MAC
+  chains with a sigmoid (exp2-based).
+* **Kmeans** (Rodinia, data mining): distance + assignment -- MAC
+  chains, comparisons and selects.
+* **Crypto** (SipHash): ARX rounds -- adds, xors and rotates over a
+  large message stream (bulk ALU/bitwise).
+* **DB**: search queries over a multi-GB table -- *bitmap index*
+  variant (pure bulk bitwise) and *full scan* variant (compare and
+  select), both far larger than any cache.
+* **Bitap**: shift-and string search -- shift/AND/OR per character
+  over a large text.
+"""
+
+from __future__ import annotations
+
+from ..isa.dfg import DFG
+from ..isa.ops import Op
+from .base import AppSpec
+
+__all__ = ["APPLICATIONS", "app", "app_names"]
+
+
+def _chain(d: DFG, value: str, op: Op, count: int, other: str, stem: str) -> str:
+    for i in range(count):
+        value = d.node(f"{stem}{i}", op, value, other)
+    return value
+
+
+def _blackscholes() -> DFG:
+    d = DFG("blackscholes")
+    s = d.input("spot")
+    k = d.input("strike")
+    t = d.input("time")
+    v = d.input("vol")
+    ratio = d.node("ratio", Op.DIV, s, k)
+    log_m = d.node("logm", Op.LOG2, ratio)
+    var = d.node("var", Op.MUL, v, v)
+    drift = d.node("drift", Op.MUL, var, t)
+    sqrt_t = d.node("sqrtt", Op.SQRT, t)
+    vol_t = d.node("volt", Op.MUL, v, sqrt_t)
+    num = d.node("num", Op.ADD, log_m, drift)
+    d1 = d.node("d1", Op.DIV, num, vol_t)
+    d2 = d.node("d2", Op.SUB, d1, vol_t)
+    # Polynomial CDF approximation for both d1 and d2.
+    cdf1 = _chain(d, d1, Op.MUL, 3, d1, "c1m")
+    cdf1 = d.node("c1e", Op.EXP2, cdf1)
+    cdf2 = _chain(d, d2, Op.MUL, 3, d2, "c2m")
+    cdf2 = d.node("c2e", Op.EXP2, cdf2)
+    disc = d.node("disc", Op.EXP2, t)
+    left = d.node("left", Op.MUL, s, cdf1)
+    right0 = d.node("right0", Op.MUL, k, disc)
+    right = d.node("right", Op.MUL, right0, cdf2)
+    price = d.node("price", Op.SUB, left, right)
+    d.output(price)
+    return d
+
+
+def _fluidanimate() -> DFG:
+    d = DFG("fluidanimate")
+    dx = d.input("dx")
+    dy = d.input("dy")
+    dz = d.input("dz")
+    mass = d.input("mass")
+    xx = d.node("xx", Op.MUL, dx, dx)
+    yy = d.node("yy", Op.MUL, dy, dy)
+    zz = d.node("zz", Op.MUL, dz, dz)
+    s1 = d.node("s1", Op.ADD, xx, yy)
+    dist2 = d.node("dist2", Op.ADD, s1, zz)
+    dist = d.node("dist", Op.SQRT, dist2)
+    inv = d.node("inv", Op.RECIP, dist)
+    w = d.node("w", Op.MUL, inv, mass)
+    fx = d.node("fx", Op.MUL, w, dx)
+    fy = d.node("fy", Op.MUL, w, dy)
+    fz = d.node("fz", Op.MUL, w, dz)
+    acc1 = d.node("acc1", Op.ADD, fx, fy)
+    acc = d.node("acc", Op.ADD, acc1, fz)
+    clipped = d.node("clipped", Op.MIN, acc, mass)
+    d.output(clipped)
+    return d
+
+
+def _streamcluster() -> DFG:
+    d = DFG("streamcluster")
+    point = d.input("point")
+    center = d.input("center")
+    best = d.input("best")
+    diff = d.node("diff", Op.SUB, point, center)
+    acc = d.node("m0", Op.MAC, diff, diff)
+    for i in range(1, 64):  # 64-dimensional points (Parsec's default range)
+        acc = d.node(f"m{i}", Op.MAC, acc, diff)
+    better = d.node("better", Op.CMP, acc, best)
+    chosen = d.node("chosen", Op.SELECT, better, acc)
+    d.output(chosen)
+    return d
+
+
+def _backprop() -> DFG:
+    d = DFG("backprop")
+    x = d.input("x")
+    w = d.input("w")
+    grad = d.input("grad")
+    acc = d.node("m0", Op.MAC, x, w)
+    for i in range(1, 48):  # hidden-layer dot product (wide fan-in)
+        acc = d.node(f"m{i}", Op.MAC, acc, w)
+    act = d.node("act", Op.EXP2, acc)  # sigmoid core
+    err = d.node("err", Op.SUB, act, grad)
+    delta = d.node("delta", Op.MUL, err, act)
+    upd = d.node("upd", Op.MAC, delta, x)
+    d.output(upd)
+    return d
+
+
+def _kmeans() -> DFG:
+    d = DFG("kmeans")
+    point = d.input("point")
+    centroid = d.input("centroid")
+    best = d.input("best")
+    diff = d.node("diff", Op.SUB, point, centroid)
+    acc = d.node("m0", Op.MAC, diff, diff)
+    for i in range(1, 34):  # kdd-cup feature dimensionality (Rodinia)
+        acc = d.node(f"m{i}", Op.MAC, acc, diff)
+    nearer = d.node("nearer", Op.MIN, acc, best)
+    label = d.node("label", Op.CMP, nearer, best)
+    out = d.node("out", Op.SELECT, label, nearer)
+    d.output(out)
+    return d
+
+
+def _crypto() -> DFG:
+    """SipHash-style ARX rounds (add / rotate / xor)."""
+    d = DFG("crypto")
+    v0 = d.input("v0")
+    v1 = d.input("v1")
+    msg = d.input("msg")
+    a, b = v0, v1
+    for i in range(4):  # SipRound x4
+        a = d.node(f"a{i}", Op.ADD, a, b)
+        b = d.node(f"r{i}", Op.ROTL, b, a)
+        b = d.node(f"x{i}", Op.XOR, b, a)
+        a = d.node(f"s{i}", Op.ADD, a, msg)
+    tag = d.node("tag", Op.XOR, a, b)
+    d.output(tag)
+    return d
+
+
+def _db_bitmap() -> DFG:
+    """Bitmap-index query: AND/OR/NOT over index bitmaps."""
+    d = DFG("db_bitmap")
+    b0 = d.input("idx0")
+    b1 = d.input("idx1")
+    b2 = d.input("idx2")
+    n1 = d.node("n1", Op.NOT, b1)
+    a1 = d.node("a1", Op.AND, b0, n1)
+    o1 = d.node("o1", Op.OR, a1, b2)
+    a2 = d.node("a2", Op.AND, o1, b0)
+    hit = d.node("hit", Op.AND, a2, b2)
+    d.output(hit)
+    return d
+
+
+def _db_scan() -> DFG:
+    """Full-scan predicate: range compare and select per row."""
+    d = DFG("db_scan")
+    value = d.input("value")
+    lo = d.const("lo")
+    hi = d.const("hi")
+    ge = d.node("ge", Op.CMP, value, lo)
+    le = d.node("le", Op.CMP, hi, value)
+    both = d.node("both", Op.AND, ge, le)
+    out = d.node("out", Op.SELECT, both, value)
+    d.output(out)
+    return d
+
+
+def _bitap() -> DFG:
+    """Shift-and approximate string search step."""
+    d = DFG("bitap")
+    state = d.input("state")
+    mask = d.input("charmask")
+    shifted = d.node("sh", Op.SHL, state, mask)
+    anded = d.node("an", Op.AND, shifted, mask)
+    ored = d.node("or", Op.OR, anded, state)
+    shifted2 = d.node("sh2", Op.SHR, ored, mask)
+    match = d.node("match", Op.AND, ored, shifted2)
+    d.output(match)
+    return d
+
+
+_MI = 1 << 20
+
+#: Table II applications.  Streamcluster appears with two input sizes
+#: and DB with two algorithms, exactly as in the paper.
+APPLICATIONS: dict[str, AppSpec] = {
+    "blackscholes": AppSpec(
+        "blackscholes", "finance", _blackscholes,
+        total_elements=4 * _MI, num_jobs=16, bytes_per_element=16,
+    ),
+    "fluidanimate": AppSpec(
+        "fluidanimate", "fluid dynamics", _fluidanimate,
+        total_elements=8 * _MI, num_jobs=16, bytes_per_element=24,
+        reuse_iterations=20,  # timesteps over resident particles
+    ),
+    "streamcluster_a": AppSpec(
+        "streamcluster_a", "data mining", _streamcluster,
+        total_elements=2 * _MI, num_jobs=8, bytes_per_element=16,
+        reuse_iterations=20,
+    ),
+    "streamcluster_b": AppSpec(
+        "streamcluster_b", "data mining", _streamcluster,
+        total_elements=32 * _MI, num_jobs=16, bytes_per_element=16,
+        reuse_iterations=20,
+    ),
+    "backprop": AppSpec(
+        "backprop", "pattern recognition", _backprop,
+        total_elements=8 * _MI, num_jobs=16, bytes_per_element=8,
+        reuse_iterations=30,  # training epochs over resident samples
+    ),
+    "kmeans": AppSpec(
+        "kmeans", "data mining", _kmeans,
+        total_elements=16 * _MI, num_jobs=16, bytes_per_element=12,
+        reuse_iterations=20,  # Lloyd iterations over resident points
+    ),
+    "crypto": AppSpec(
+        "crypto", "message authentication", _crypto,
+        total_elements=256 * _MI, num_jobs=16, bytes_per_element=8,
+    ),
+    "db_bitmap": AppSpec(
+        "db_bitmap", "database", _db_bitmap,
+        total_elements=1024 * _MI, num_jobs=16, bytes_per_element=4,
+    ),
+    "db_scan": AppSpec(
+        "db_scan", "database", _db_scan,
+        total_elements=512 * _MI, num_jobs=16, bytes_per_element=8,
+    ),
+    "bitap": AppSpec(
+        "bitap", "string search", _bitap,
+        total_elements=512 * _MI, num_jobs=16, bytes_per_element=4,
+    ),
+}
+
+
+def app_names() -> list[str]:
+    return list(APPLICATIONS)
+
+
+def app(name: str) -> AppSpec:
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; known: {app_names()}") from None

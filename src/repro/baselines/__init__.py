@@ -1,0 +1,13 @@
+"""Roofline host baselines: the paper's Xeon + Titan XP reference."""
+
+from .base import HostDevice, kernel_flops, kernel_traffic_bytes
+from .cpu import XEON_E5_2697V3
+from .gpu import TITAN_XP
+
+__all__ = [
+    "HostDevice",
+    "kernel_flops",
+    "kernel_traffic_bytes",
+    "XEON_E5_2697V3",
+    "TITAN_XP",
+]

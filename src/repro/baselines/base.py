@@ -1,0 +1,119 @@
+"""Roofline-style host baselines (the paper's CPU+GPU reference system).
+
+The paper's baseline is a dual-socket Xeon E5-2697 v3 server with an
+NVIDIA Titan XP over PCIe (Section V-A), measured with profilers.  We
+replace the measurement with a calibrated roofline: each kernel costs
+``max(flops / (peak * efficiency), bytes / bandwidth)`` plus a launch
+overhead, and accelerator jobs additionally stream their operands over
+PCIe.  All headline results are *ratios* against this baseline, so the
+roofline's job is to place the baseline in the right regime: GNN
+kernels on the GPU are transfer-bound (the memcpy bars of Fig. 12) and
+on the CPU memory-bound.
+
+Byte-traffic conventions per kernel (C-stationary, cache-unfriendly
+gathers for SpMM -- the paper's Fig. 9 discussion):
+
+* ``spmm``: every non-zero gathers one feature row (nnz * f * 2 bytes)
+  plus the output.
+* ``gemm``: inputs + weights + outputs once (blocked, cache-resident).
+* ``vadd``: three streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.job import Job
+from ..memories.base import ELEMENT_BYTES
+
+__all__ = ["HostDevice", "kernel_traffic_bytes", "kernel_flops"]
+
+
+@dataclass(frozen=True)
+class HostDevice:
+    """A CPU or GPU execution target for the baseline comparison."""
+
+    name: str
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    kernel_efficiency: dict[str, float]
+    launch_overhead_s: float
+    power_w: float
+    transfer_bandwidth_gbps: float | None = None  # PCIe; None = host-resident
+    transfer_energy_pj_per_byte: float = 0.0
+    idle_power_w: float = 0.0
+
+    def efficiency(self, kernel: str) -> float:
+        return self.kernel_efficiency.get(kernel, 0.1)
+
+    # ------------------------------------------------------------------
+    def kernel_time(self, job: Job) -> float:
+        """Roofline time of one kernel, excluding any PCIe transfer."""
+        flops = kernel_flops(job)
+        traffic = kernel_traffic_bytes(job)
+        compute = flops / (self.peak_gflops * 1e9 * self.efficiency(job.kernel))
+        memory = traffic / (self.mem_bandwidth_gbps * 1e9)
+        return max(compute, memory) + self.launch_overhead_s
+
+    def transfer_time(self, job: Job) -> float:
+        """PCIe streaming of the job's fresh operands (0 on the CPU).
+
+        Uses the job's MLIMP fill-byte accounting so residency
+        (chained kernels reusing on-device data) benefits the GPU the
+        same way it benefits MLIMP.
+        """
+        if self.transfer_bandwidth_gbps is None:
+            return 0.0
+        nbytes = self._fresh_bytes(job)
+        return nbytes / (self.transfer_bandwidth_gbps * 1e9)
+
+    @staticmethod
+    def _fresh_bytes(job: Job) -> float:
+        profile = next(iter(job.profiles.values()))
+        return profile.fill_bytes * profile.n_iter
+
+    def job_time(self, job: Job) -> float:
+        return self.kernel_time(job) + self.transfer_time(job)
+
+    def batch_time(self, jobs: list[Job]) -> float:
+        """Serial batch execution (kernels back-to-back, transfers
+        overlapped with compute where possible)."""
+        compute = sum(self.kernel_time(job) for job in jobs)
+        transfer = sum(self.transfer_time(job) for job in jobs)
+        # Transfers overlap compute via async copies, but the slower of
+        # the two pipelines bounds the batch.
+        return max(compute, transfer) + 0.25 * min(compute, transfer)
+
+    def batch_energy_j(self, jobs: list[Job]) -> float:
+        time = self.batch_time(jobs)
+        transfer_bytes = sum(self._fresh_bytes(job) for job in jobs)
+        return (
+            self.power_w * time
+            + transfer_bytes * self.transfer_energy_pj_per_byte * 1e-12
+        )
+
+
+def kernel_flops(job: Job) -> float:
+    """Arithmetic work of a job from its tags."""
+    if "flops" in job.tags:
+        return float(job.tags["flops"])  # gemm
+    if "macs" in job.tags:
+        return 2.0 * float(job.tags["macs"])  # spmm
+    if "elements" in job.tags:
+        return float(job.tags["elements"])  # vadd and friends
+    raise ValueError(f"job {job.job_id} carries no work tags")
+
+
+def kernel_traffic_bytes(job: Job) -> float:
+    """Host memory traffic of a job (C-stationary execution)."""
+    if job.kernel == "spmm":
+        nnz = float(job.tags["nnz"])
+        f = float(job.tags["feature_dim"])
+        n = float(job.tags["nodes"])
+        return (nnz * f + 2 * n * f) * ELEMENT_BYTES
+    if job.kernel == "gemm":
+        rows, k, n = (float(job.tags[key]) for key in ("rows", "k", "n"))
+        return (rows * k + k * n + rows * n) * ELEMENT_BYTES
+    if "elements" in job.tags:
+        return 3.0 * float(job.tags["elements"]) * ELEMENT_BYTES
+    raise ValueError(f"job {job.job_id} carries no traffic tags")

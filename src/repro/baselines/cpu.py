@@ -1,0 +1,32 @@
+"""Dual-socket Xeon E5-2697 v3 baseline (Section V-A).
+
+28 Haswell cores at ~2.6 GHz with AVX2 give ~1.16 TFLOP/s fp32 peak;
+the four-channel DDR4 per socket totals ~136 GB/s.  Kernel efficiency
+factors reflect measured ratios on such parts: blocked GEMM sustains
+about half of peak, SpMM with irregular gathers a few percent, and
+streaming element-wise kernels are bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from .base import HostDevice
+
+__all__ = ["XEON_E5_2697V3"]
+
+XEON_E5_2697V3 = HostDevice(
+    name="2x Xeon E5-2697 v3",
+    peak_gflops=1160.0,
+    mem_bandwidth_gbps=136.0,
+    kernel_efficiency={
+        "gemm": 0.50,
+        # Framework-level sparse aggregation on CPUs runs orders of
+        # magnitude below peak (PyTorch/PyG gather-scatter);
+        # calibrated against the paper's 241x CPU gap.
+        "spmm": 0.002,
+        "vadd": 0.30,
+        "app": 0.15,
+    },
+    launch_overhead_s=30e-6,  # framework op-dispatch per kernel
+    power_w=290.0,  # 2 x 145 W TDP
+    transfer_bandwidth_gbps=None,  # host-resident
+)

@@ -1,0 +1,71 @@
+"""MLIMP core: jobs, performance models, predictors, schedulers, runtime."""
+
+from .dispatcher import DispatchError, Dispatcher, DispatchResult, JobRecord
+from .job import Job, JobPerfProfile
+from .perfmodel import (
+    DEFAULT_BETA,
+    ScaleFreeEstimate,
+    allocation_grid,
+    estimate_from_profile,
+    fit_beta,
+    knee_allocation,
+    min_time_allocation,
+)
+from .predictor import (
+    MLPPredictor,
+    NaiveThresholdClassifier,
+    NoisyPredictor,
+    OraclePredictor,
+    PerformancePredictor,
+    naive_metric,
+)
+from .runtime import MLIMPRuntime
+from .scheduler import (
+    AdaptiveScheduler,
+    Dispatch,
+    DispatchPolicy,
+    GlobalScheduler,
+    JohnsonScheduler,
+    LJFScheduler,
+    MLIMPSystem,
+    ResourceView,
+    Scheduler,
+    WearAwareScheduler,
+    oracle_makespan,
+    single_memory_makespan,
+)
+
+__all__ = [
+    "DispatchError",
+    "Dispatcher",
+    "DispatchResult",
+    "JobRecord",
+    "Job",
+    "JobPerfProfile",
+    "DEFAULT_BETA",
+    "ScaleFreeEstimate",
+    "allocation_grid",
+    "estimate_from_profile",
+    "fit_beta",
+    "knee_allocation",
+    "min_time_allocation",
+    "MLPPredictor",
+    "NaiveThresholdClassifier",
+    "NoisyPredictor",
+    "OraclePredictor",
+    "PerformancePredictor",
+    "naive_metric",
+    "MLIMPRuntime",
+    "AdaptiveScheduler",
+    "Dispatch",
+    "DispatchPolicy",
+    "GlobalScheduler",
+    "JohnsonScheduler",
+    "WearAwareScheduler",
+    "LJFScheduler",
+    "MLIMPSystem",
+    "ResourceView",
+    "Scheduler",
+    "oracle_makespan",
+    "single_memory_makespan",
+]

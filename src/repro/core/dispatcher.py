@@ -1,0 +1,257 @@
+"""Event-driven execution of a dispatch policy (the MLIMP runtime).
+
+The dispatcher realises the runtime half of Figure 6: it holds one
+scratchpad allocator and job-slot counter per memory device, a shared
+main-memory pipe for off-chip fills, an energy ledger, and an
+execution trace.  At t = 0 and after every job completion it asks the
+scheduler's :class:`~repro.core.scheduler.base.DispatchPolicy` what to
+launch; each launched job walks through fill -> replicate -> compute
+phases whose durations come from the job's ground-truth profile.
+
+Fills for SRAM and ReRAM stream over the shared DDR4 pipe, so
+concurrent jobs genuinely contend for memory bandwidth (and the
+scheduler's nominal-bandwidth estimates drift from reality -- one of
+the error sources the adaptive scheduler absorbs).  In-DRAM jobs fill
+with internal row moves and bypass the pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memories.allocator import Allocation, ScratchpadAllocator
+from ..memories.base import MemoryKind
+from ..sim.energy import EnergyCategory, EnergyLedger
+from ..sim.engine import Simulator
+from ..sim.mainmem import DDR4Config, SharedBandwidthPipe
+from ..sim.trace import ExecutionTrace, Phase
+from .job import Job
+from .scheduler.base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView
+
+__all__ = ["JobRecord", "DispatchResult", "Dispatcher", "DispatchError"]
+
+
+class DispatchError(RuntimeError):
+    """Raised when a policy dead-locks or over-subscribes a device."""
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle timestamps of one executed job."""
+
+    job_id: str
+    kind: MemoryKind
+    arrays: int
+    dispatched_at: float
+    fill_done_at: float = 0.0
+    replicate_done_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.dispatched_at
+
+
+@dataclass
+class DispatchResult:
+    """Everything a run produced."""
+
+    makespan: float
+    trace: ExecutionTrace
+    energy: EnergyLedger
+    records: dict[str, JobRecord]
+    scheduler_name: str = ""
+
+    def jobs_on(self, kind: MemoryKind) -> list[JobRecord]:
+        return [r for r in self.records.values() if r.kind is kind]
+
+    def mean_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.latency for r in self.records.values()) / len(self.records)
+
+    def tail_latency(self, quantile: float = 0.99) -> float:
+        if not self.records:
+            return 0.0
+        latencies = sorted(r.latency for r in self.records.values())
+        index = min(len(latencies) - 1, int(quantile * len(latencies)))
+        return latencies[index]
+
+
+@dataclass
+class _Device:
+    allocator: ScratchpadAllocator
+    running: int = 0
+
+
+#: Runtime cost of launching one in-memory job (scheduler decision +
+#: firmware kernel launch; "similar to the kernel launch for CUDA
+#: runtime", paper III-A).
+DEFAULT_DISPATCH_OVERHEAD_S = 2e-6
+
+
+class Dispatcher:
+    """Runs one batch of jobs under a dispatch policy."""
+
+    def __init__(
+        self,
+        system: MLIMPSystem,
+        ddr4: DDR4Config | None = None,
+        dispatch_overhead_s: float = DEFAULT_DISPATCH_OVERHEAD_S,
+    ) -> None:
+        self.system = system
+        self.ddr4 = ddr4 or DDR4Config()
+        if dispatch_overhead_s < 0:
+            raise ValueError("dispatch overhead must be non-negative")
+        self.dispatch_overhead_s = dispatch_overhead_s
+
+    # ------------------------------------------------------------------
+    def run(self, policy: DispatchPolicy, label: str = "") -> DispatchResult:
+        sim = Simulator()
+        pipe = SharedBandwidthPipe(sim, self.ddr4)
+        trace = ExecutionTrace()
+        ledger = EnergyLedger()
+        records: dict[str, JobRecord] = {}
+        devices = {
+            kind: _Device(allocator=ScratchpadAllocator(spec))
+            for kind, spec in self.system.specs.items()
+        }
+
+        def view() -> ResourceView:
+            return ResourceView(
+                now=sim.now,
+                free_slots={
+                    kind: self.system.slots(kind) - dev.running
+                    for kind, dev in devices.items()
+                },
+                free_arrays={
+                    kind: dev.allocator.free_arrays for kind, dev in devices.items()
+                },
+                largest_free_run={
+                    kind: dev.allocator.largest_free_run
+                    for kind, dev in devices.items()
+                },
+            )
+
+        def launch(dispatch: Dispatch) -> None:
+            kind, job = dispatch.kind, dispatch.job
+            spec = self.system.specs[kind]
+            device = devices[kind]
+            profile = job.profile(kind)
+            if dispatch.arrays > spec.num_arrays:
+                raise DispatchError(
+                    f"{job.job_id}: requested {dispatch.arrays} arrays on "
+                    f"{kind} (device has {spec.num_arrays})"
+                )
+            allocation = device.allocator.allocate(dispatch.arrays)
+            device.running += 1
+            record = JobRecord(
+                job_id=job.job_id,
+                kind=kind,
+                arrays=dispatch.arrays,
+                dispatched_at=sim.now,
+            )
+            if job.job_id in records:
+                raise DispatchError(f"job {job.job_id} dispatched twice")
+            records[job.job_id] = record
+
+            bytes_total = profile.fill_bytes * profile.n_iter
+            ledger.add(
+                EnergyCategory.FILL,
+                kind.value,
+                bytes_total * spec.fill_energy_pj_per_byte * 1e-12,
+            )
+
+            def after_fill() -> None:
+                record.fill_done_at = sim.now
+                trace.record(
+                    job.job_id, kind.value, Phase.FILL,
+                    record.dispatched_at, sim.now, dispatch.arrays,
+                )
+                replicas = profile.replicas(dispatch.arrays)
+                rep_time = profile.n_iter * profile.t_replica_unit * (replicas - 1)
+                rep_bytes = profile.fill_bytes * (replicas - 1)
+                if rep_bytes > 0:
+                    ledger.add(
+                        EnergyCategory.REPLICATION,
+                        kind.value,
+                        rep_bytes * spec.fill_energy_pj_per_byte * 1e-12,
+                    )
+                sim.after(rep_time, after_replicate)
+
+            def after_replicate() -> None:
+                record.replicate_done_at = sim.now
+                if sim.now > record.fill_done_at:
+                    trace.record(
+                        job.job_id, kind.value, Phase.REPLICATE,
+                        record.fill_done_at, sim.now, dispatch.arrays,
+                    )
+                compute = profile.n_iter * profile.compute_time(dispatch.arrays)
+                sim.after(compute, finish, sim.now)
+
+            def finish(compute_start: float) -> None:
+                record.finished_at = sim.now
+                trace.record(
+                    job.job_id, kind.value, Phase.COMPUTE,
+                    compute_start, sim.now, dispatch.arrays,
+                )
+                ledger.add(
+                    EnergyCategory.COMPUTE, kind.value, profile.compute_energy_j
+                )
+                device.allocator.free(allocation)
+                device.running -= 1
+                policy.notify_completion(job, kind, sim.now)
+                pump()
+
+            def begin_fill() -> None:
+                if kind is MemoryKind.DRAM:
+                    # In-situ: data is already in main memory; the fill
+                    # is an internal row-move, off the shared pipe.
+                    sim.after(spec.fill_seconds(bytes_total), after_fill)
+                else:
+                    # Off-chip stream through the shared DDR4 pipe, plus
+                    # device-side write overhead beyond pipe bandwidth.
+                    extra = max(
+                        0.0,
+                        spec.fill_seconds(bytes_total)
+                        - bytes_total / self.ddr4.total_bandwidth_bps,
+                    )
+                    pipe.submit(bytes_total, lambda: sim.after(extra, after_fill))
+
+            sim.after(self.dispatch_overhead_s, begin_fill)
+
+        def pump() -> None:
+            dispatches = policy.next_dispatches(view())
+            for dispatch in dispatches:
+                launch(dispatch)
+            # Time-driven policies (static global schedules) want to be
+            # consulted at their next planned dispatch time.  Planned
+            # times already in the past are served by the next
+            # completion event instead (never self-schedule at `now`,
+            # which would spin).
+            wakeup = policy.next_event_time(sim.now)
+            if wakeup is not None and wakeup > sim.now and policy.pending() > 0:
+                sim.at(wakeup, pump)
+                return
+            if (
+                not dispatches
+                and policy.pending() > 0
+                and all(dev.running == 0 for dev in devices.values())
+                and pipe.active_transfers == 0
+            ):
+                raise DispatchError(
+                    f"policy dead-locked with {policy.pending()} jobs pending"
+                )
+
+        sim.after(0.0, pump)
+        makespan = sim.run()
+        if policy.pending() > 0:
+            raise DispatchError(f"{policy.pending()} jobs never dispatched")
+        ledger.add(EnergyCategory.OFFCHIP, "ddr4", pipe.energy_j())
+        return DispatchResult(
+            makespan=makespan,
+            trace=trace,
+            energy=ledger,
+            records=records,
+            scheduler_name=label,
+        )

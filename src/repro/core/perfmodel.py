@@ -1,0 +1,309 @@
+"""The scheduler's analytical performance model (paper Eq. 1-3).
+
+The scheduler never executes jobs to learn their timing; it plans with
+a smooth *scale-free* approximation of the execution-time curve:
+
+    t(x, m)      = n_iter(x) * (t_ld(x, m) + t_cmpt(x, m))          (1)
+    t_ld(x, m)   = t_ld(x) + t_replica * (m / a_repunit)            (2)
+    t_cmpt(x, m) = t_cmpt(x, a_repunit) * (a_repunit / m) ** beta   (3)
+
+``t_cmpt(x, a_repunit)`` comes from the performance predictor (oracle
+or MLP); ``beta`` is the shape parameter fitted offline per kernel
+class (:func:`fit_beta` backs the paper's "median R^2 of 0.998"
+scale-free-fit claim against the discrete ground-truth curves).
+
+Allocation sizing (Section III-C3): minimising t(x, m) outright
+over-provisions because the curve flattens; the scheduler instead
+picks the *knee* -- the ``m`` maximising the angular speed
+``d theta / d m`` of the tangent to the curve
+(:func:`knee_allocation`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .job import JobPerfProfile
+
+__all__ = [
+    "ScaleFreeEstimate",
+    "ProfileEstimate",
+    "estimate_from_profile",
+    "allocation_grid",
+    "knee_allocation",
+    "min_time_allocation",
+    "fit_beta",
+    "DEFAULT_BETA",
+]
+
+#: Shape parameter used when no per-kernel fit is available; less than
+#: one models the parallelisation cost (paper III-C3).
+DEFAULT_BETA = 0.92
+
+
+@dataclass(frozen=True)
+class ScaleFreeEstimate:
+    """Smooth Eq. (1)-(3) estimate of one (job, memory) pair."""
+
+    unit_arrays: int
+    t_load: float
+    t_replica_unit: float
+    t_compute_unit: float
+    beta: float = DEFAULT_BETA
+    n_iter: int = 1
+    max_useful_arrays: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.unit_arrays < 1:
+            raise ValueError("unit_arrays must be >= 1")
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError("beta must be in (0, 1]")
+        if self.n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        if min(self.t_load, self.t_replica_unit, self.t_compute_unit) < 0:
+            raise ValueError("times must be non-negative")
+
+    def load_time(self, arrays: int) -> float:
+        self._check(arrays)
+        replicas = self._effective(arrays) / self.unit_arrays
+        return self.t_load + self.t_replica_unit * max(0.0, replicas - 1.0)
+
+    def compute_time(self, arrays: int) -> float:
+        self._check(arrays)
+        ratio = self.unit_arrays / self._effective(arrays)
+        return self.t_compute_unit * ratio**self.beta
+
+    def total_time(self, arrays: int) -> float:
+        return self.n_iter * (self.load_time(arrays) + self.compute_time(arrays))
+
+    def _effective(self, arrays: int) -> int:
+        if self.max_useful_arrays is not None:
+            return min(arrays, self.max_useful_arrays)
+        return arrays
+
+    def _check(self, arrays: int) -> None:
+        if arrays < self.unit_arrays:
+            raise ValueError(
+                f"allocation {arrays} below the unit allocation {self.unit_arrays}"
+            )
+
+    def snap_to_replica(self, arrays: int) -> int:
+        """Round an allocation down to a whole replica multiple.
+
+        The ground-truth compute model only speeds up at whole
+        replicas of the unit allocation, so fractional-replica arrays
+        are pure waste; every planner snaps its choices.
+        """
+        snapped = max(self.unit_arrays, (arrays // self.unit_arrays) * self.unit_arrays)
+        if self.max_useful_arrays is not None:
+            snapped = min(snapped, max(self.unit_arrays, self.max_useful_arrays))
+        return snapped
+
+    def invert_total_time(self, target_seconds: float, max_arrays: int) -> int:
+        """Smallest allocation whose estimated *total* time meets the
+        target (Algorithm 2's ``t^{-1}``), or the time-minimising
+        allocation if the target is unreachable.  Grid search over
+        replica multiples: the curve is *not* monotone once
+        replication load cost dominates."""
+        return _invert_total_time(self, target_seconds, max_arrays)
+
+    def invert_compute_time(self, target_seconds: float) -> int:
+        """Smallest allocation whose estimated *compute* time meets the
+        target -- ``t_max^{-1}(mean_t)`` in Algorithm 2."""
+        if target_seconds <= 0:
+            raise ValueError("target must be positive")
+        if target_seconds >= self.t_compute_unit:
+            return self.unit_arrays
+        ratio = (self.t_compute_unit / target_seconds) ** (1.0 / self.beta)
+        arrays = math.ceil(self.unit_arrays * ratio)
+        if self.max_useful_arrays is not None:
+            arrays = min(arrays, self.max_useful_arrays)
+        return max(self.unit_arrays, arrays)
+
+
+@dataclass(frozen=True)
+class ProfileEstimate:
+    """Oracle-grade estimate: delegates to the true discrete profile.
+
+    The paper's oracle predictor "returns the accurate cycle counts of
+    a job in each memory" (V-B3) -- with it, the scheduler's planning
+    curve *is* the ground truth.  ``compute_scale`` lets the noisy
+    predictor perturb the compute component multiplicatively while
+    keeping the discrete shape.
+    """
+
+    profile: JobPerfProfile
+    compute_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute_scale <= 0:
+            raise ValueError("compute_scale must be positive")
+
+    @property
+    def unit_arrays(self) -> int:
+        return self.profile.unit_arrays
+
+    @property
+    def n_iter(self) -> int:
+        return self.profile.n_iter
+
+    @property
+    def max_useful_arrays(self) -> int:
+        return self.profile.useful_max_arrays()
+
+    @property
+    def t_compute_unit(self) -> float:
+        return self.profile.t_compute_unit * self.compute_scale
+
+    @property
+    def t_load(self) -> float:
+        return self.profile.t_load
+
+    @property
+    def t_replica_unit(self) -> float:
+        return self.profile.t_replica_unit
+
+    def load_time(self, arrays: int) -> float:
+        return self.profile.load_time(arrays)
+
+    def compute_time(self, arrays: int) -> float:
+        return self.profile.compute_time(arrays) * self.compute_scale
+
+    def total_time(self, arrays: int) -> float:
+        return self.profile.n_iter * (
+            self.load_time(arrays) + self.compute_time(arrays)
+        )
+
+    def snap_to_replica(self, arrays: int) -> int:
+        unit = self.profile.unit_arrays
+        snapped = max(unit, (arrays // unit) * unit)
+        return min(snapped, max(unit, self.max_useful_arrays))
+
+    def invert_total_time(self, target_seconds: float, max_arrays: int) -> int:
+        """Smallest replica-multiple allocation meeting the target, or
+        the time-minimising allocation if unreachable (the curve is
+        not monotone once replication load cost dominates)."""
+        return _invert_total_time(self, target_seconds, max_arrays)
+
+
+def estimate_from_profile(
+    profile: JobPerfProfile,
+    t_compute_unit: float | None = None,
+    beta: float = DEFAULT_BETA,
+) -> ScaleFreeEstimate:
+    """Build the scheduler's estimate for one ground-truth profile.
+
+    ``t_compute_unit`` is the predictor's output; omit it for an
+    oracle estimate that reads the true unit compute time.
+    """
+    return ScaleFreeEstimate(
+        unit_arrays=profile.unit_arrays,
+        t_load=profile.t_load,
+        t_replica_unit=profile.t_replica_unit,
+        t_compute_unit=(
+            profile.t_compute_unit if t_compute_unit is None else t_compute_unit
+        ),
+        beta=beta,
+        n_iter=profile.n_iter,
+        max_useful_arrays=profile.useful_max_arrays(),
+    )
+
+
+def _invert_total_time(estimate, target_seconds: float, max_arrays: int) -> int:
+    """Shared t^{-1} implementation over the replica-multiple grid."""
+    if target_seconds <= 0:
+        raise ValueError("target must be positive")
+    grid = allocation_grid(estimate, max(estimate.unit_arrays, max_arrays))
+    best_arrays = int(grid[0])
+    best_time = estimate.total_time(best_arrays)
+    for arrays in grid:
+        t = estimate.total_time(int(arrays))
+        if t <= target_seconds:
+            return int(arrays)
+        if t < best_time:
+            best_time, best_arrays = t, int(arrays)
+    return best_arrays
+
+
+def allocation_grid(estimate, max_arrays: int, points: int = 48) -> np.ndarray:
+    """Feasible allocations from the unit allocation up to ``max_arrays``.
+
+    Allocations are whole replica multiples of the unit allocation
+    (anything in between is wasted -- see
+    :meth:`ScaleFreeEstimate.snap_to_replica`), geometrically
+    subsampled so the knee search stays cheap.
+    """
+    lo = estimate.unit_arrays
+    if max_arrays < lo:
+        raise ValueError("max_arrays below the unit allocation")
+    max_replicas = max_arrays // lo
+    if max_replicas <= 1:
+        return np.asarray([lo])
+    replicas = np.unique(
+        np.round(np.geomspace(1, max_replicas, num=points)).astype(int)
+    )
+    return replicas[replicas >= 1] * lo
+
+
+def min_time_allocation(estimate, max_arrays: int) -> int:
+    """The allocation strictly minimising t(x, m) -- the naive choice
+    the paper rejects for over-provisioning (kept for the ablation)."""
+    grid = allocation_grid(estimate, max_arrays)
+    times = np.asarray([estimate.total_time(int(m)) for m in grid])
+    return int(grid[int(np.argmin(times))])
+
+
+def knee_allocation(estimate, max_arrays: int) -> int:
+    """Allocation at the knee of t(x, m): max angular speed of the
+    tangent (paper III-C3)."""
+    grid = allocation_grid(estimate, max_arrays)
+    if len(grid) == 1:
+        return int(grid[0])
+    times = np.asarray([estimate.total_time(int(m)) for m in grid], dtype=float)
+
+    # Normalise both axes so the angle is scale-invariant; otherwise
+    # the knee depends on the units of seconds vs arrays.
+    x = (grid - grid[0]) / max(1, (grid[-1] - grid[0]))
+    t_span = times.max() - times.min()
+    if t_span <= 0.0:
+        # Flat curve: no benefit from more than the unit allocation.
+        return int(grid[0])
+    y = (times - times.min()) / t_span
+
+    slope = np.gradient(y, x)
+    theta = np.arctan(slope)
+    dtheta = np.abs(np.gradient(theta, x))
+    knee_idx = int(np.argmax(dtheta))
+    knee = int(grid[knee_idx])
+
+    # Guard: never pick an allocation that is *worse* than the unit
+    # allocation (possible when replication cost dominates).
+    if estimate.total_time(knee) > estimate.total_time(int(grid[0])):
+        return int(grid[0])
+    return knee
+
+
+def fit_beta(allocations, compute_times) -> tuple[float, float]:
+    """Least-squares fit of the scale-free model (Eq. 3).
+
+    Fits ``log t = log t0 - beta * log m`` and returns ``(beta, r2)``
+    of the fit in log space.  Used to validate the scale-free property
+    on the ground-truth (discrete) kernel scaling curves, reproducing
+    the paper's median R^2 of 0.998.
+    """
+    m = np.asarray(allocations, dtype=float)
+    t = np.asarray(compute_times, dtype=float)
+    if m.shape != t.shape or m.size < 2:
+        raise ValueError("need >= 2 matching (allocation, time) points")
+    if np.any(m <= 0) or np.any(t <= 0):
+        raise ValueError("allocations and times must be positive")
+    log_m, log_t = np.log(m), np.log(t)
+    slope, intercept = np.polyfit(log_m, log_t, deg=1)
+    pred = slope * log_m + intercept
+    ss_res = float(np.sum((log_t - pred) ** 2))
+    ss_tot = float(np.sum((log_t - log_t.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return -float(slope), r2

@@ -1,0 +1,277 @@
+"""Performance predictors (paper III-E).
+
+The scheduler needs, for every (job, memory) pair, an estimated
+execution-time curve over allocation sizes.  Deterministic kernels
+(GEMM, the data-parallel applications) are costed exactly at compile
+time; input-dependent kernels (SpMM over sampled subgraphs) need a
+learned predictor because the cycle count depends on the adjacency
+contents, which only a full scan would reveal.
+
+Three predictors are provided:
+
+* :class:`OraclePredictor` -- returns the true unit compute time
+  (the paper's "oracle predictor" in Fig. 15).
+* :class:`NoisyPredictor` -- wraps another predictor with
+  deterministic log-normal multiplicative noise; drives the
+  Section V-B3 stress test of scheduler noise tolerance.
+* :class:`MLPPredictor` -- the paper's two-stage MLP pipeline: a
+  first regressor learns ``H_w`` from subgraph metadata (w and nnz
+  included), a second learns cycle counts from the same metadata plus
+  the predicted ``H_w``; trained once per mother graph.
+
+All of them emit :class:`~repro.core.perfmodel.ScaleFreeEstimate`
+objects -- the smooth Eq. (1)-(3) model the allocation sizing and
+queue-balancing algorithms operate on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memories.base import MemoryKind
+from ..ml import MLPRegressor
+from .job import Job
+from .perfmodel import (
+    DEFAULT_BETA,
+    ProfileEstimate,
+    ScaleFreeEstimate,
+    estimate_from_profile,
+)
+
+__all__ = [
+    "PerformancePredictor",
+    "OraclePredictor",
+    "NoisyPredictor",
+    "MLPPredictor",
+    "naive_metric",
+    "NaiveThresholdClassifier",
+]
+
+
+class PerformancePredictor:
+    """Interface: produce the scheduler's estimate for (job, memory).
+
+    Estimates are either :class:`ProfileEstimate` (oracle-grade,
+    delegates to the discrete ground truth) or
+    :class:`ScaleFreeEstimate` (the smooth Eq. 1-3 model fed by a
+    learned unit-compute-time prediction); both expose the same
+    planning surface.
+    """
+
+    def estimate(self, job: Job, kind: MemoryKind):
+        raise NotImplementedError
+
+
+@dataclass
+class OraclePredictor(PerformancePredictor):
+    """The paper's oracle: "returns the accurate cycle counts of a job
+    in each memory" -- planning curves equal the ground truth."""
+
+    def estimate(self, job: Job, kind: MemoryKind) -> ProfileEstimate:
+        return ProfileEstimate(job.profile(kind))
+
+
+@dataclass
+class NoisyPredictor(PerformancePredictor):
+    """Multiplicative log-normal noise around a base predictor.
+
+    Noise is deterministic per (job, memory) so repeated queries for
+    the same pair agree -- a real mispredicting model is consistently
+    wrong, not freshly random each call.
+    """
+
+    base: PerformancePredictor
+    sigma: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def _factor(self, job: Job, kind: MemoryKind) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{job.job_id}:{kind.value}".encode(), digest_size=8
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest, "little"))
+        return float(np.exp(rng.normal(0.0, self.sigma)))
+
+    def estimate(self, job: Job, kind: MemoryKind):
+        est = self.base.estimate(job, kind)
+        if self.sigma == 0.0:
+            return est
+        factor = self._factor(job, kind)
+        if isinstance(est, ProfileEstimate):
+            return ProfileEstimate(
+                profile=est.profile, compute_scale=est.compute_scale * factor
+            )
+        return ScaleFreeEstimate(
+            unit_arrays=est.unit_arrays,
+            t_load=est.t_load,
+            t_replica_unit=est.t_replica_unit,
+            t_compute_unit=est.t_compute_unit * factor,
+            beta=est.beta,
+            n_iter=est.n_iter,
+            max_useful_arrays=est.max_useful_arrays,
+        )
+
+
+@dataclass
+class MLPPredictor(PerformancePredictor):
+    """Two-stage MLP predictor for input-dependent SpMM jobs.
+
+    Deterministic kernels fall back to the oracle path, matching the
+    paper: their latency "can be deterministically calculated at
+    compile time" (III-E), so no learning is involved.
+    """
+
+    betas: dict[str, float] = field(default_factory=dict)
+    hidden: tuple[int, ...] = (16, 8)
+    epochs: int = 250
+    seed: int = 0
+    _hw_model: MLPRegressor | None = field(default=None, repr=False)
+    _cycle_models: dict[MemoryKind, MLPRegressor] = field(default_factory=dict, repr=False)
+    _oracle: OraclePredictor = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._oracle = OraclePredictor()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _strip_width(job: Job, kind: MemoryKind) -> int:
+        widths = job.tags.get("strip_width")
+        if not isinstance(widths, dict) or kind not in widths:
+            raise ValueError(
+                f"job {job.job_id} lacks strip_width tags; build SpMM jobs "
+                "with repro.kernels.make_spmm_job"
+            )
+        return int(widths[kind])
+
+    @staticmethod
+    def _true_hw(job: Job, kind: MemoryKind) -> int:
+        hws = job.tags.get("h_w")
+        if not isinstance(hws, dict) or kind not in hws:
+            raise ValueError(f"job {job.job_id} lacks h_w tags")
+        return int(hws[kind])
+
+    def _features(self, job: Job, width: int) -> np.ndarray:
+        if job.metadata is None:
+            raise ValueError(f"job {job.job_id} has no metadata for prediction")
+        raw = job.metadata.as_features(width)  # type: ignore[attr-defined]
+        # Subgraph statistics span orders of magnitude; the small MLP
+        # learns their log-domain relationships far more easily.
+        return np.log1p(raw)
+
+    # ------------------------------------------------------------------
+    def train(self, jobs: list[Job]) -> "MLPPredictor":
+        """Fit both stages on training SpMM jobs of one mother graph."""
+        spmm_jobs = [j for j in jobs if j.kernel == "spmm" and j.metadata is not None]
+        if len(spmm_jobs) < 8:
+            raise ValueError("need at least 8 SpMM jobs to train the predictor")
+        kinds = sorted(
+            {kind for job in spmm_jobs for kind in job.profiles}, key=lambda k: k.value
+        )
+
+        # Stage 1: H_w from metadata (+ the strip width w as a feature).
+        hw_X, hw_y = [], []
+        for job in spmm_jobs:
+            for kind in kinds:
+                width = self._strip_width(job, kind)
+                hw_X.append(self._features(job, width))
+                hw_y.append(self._true_hw(job, kind))
+        self._hw_model = MLPRegressor(
+            hidden=self.hidden, epochs=self.epochs, seed=self.seed
+        ).fit(np.asarray(hw_X), np.log1p(np.asarray(hw_y, dtype=float)))
+
+        # Stage 2: per-memory cycle counts from metadata + predicted H_w.
+        self._cycle_models = {}
+        for kind in kinds:
+            X_rows, y_rows = [], []
+            for job in spmm_jobs:
+                width = self._strip_width(job, kind)
+                features = self._features(job, width)
+                hw_hat = self._predict_hw(features)
+                X_rows.append(np.concatenate([features, [hw_hat]]))
+                y_rows.append(job.profile(kind).t_compute_unit)
+            self._cycle_models[kind] = MLPRegressor(
+                hidden=self.hidden, epochs=self.epochs, seed=self.seed + 1
+            ).fit(np.asarray(X_rows), np.log(np.asarray(y_rows, dtype=float)))
+        return self
+
+    def _predict_hw(self, features: np.ndarray) -> float:
+        assert self._hw_model is not None
+        return float(np.expm1(self._hw_model.predict(features)))
+
+    def predict_hw(self, job: Job, kind: MemoryKind) -> float:
+        """Predicted ``H_w`` for one job (stage-1 output)."""
+        if self._hw_model is None:
+            raise RuntimeError("predictor is not trained")
+        width = self._strip_width(job, kind)
+        return max(0.0, self._predict_hw(self._features(job, width)))
+
+    def predict_unit_compute(self, job: Job, kind: MemoryKind) -> float:
+        """Predicted unit-allocation compute time (stage-2 output)."""
+        if kind not in self._cycle_models:
+            raise RuntimeError(f"predictor not trained for {kind}")
+        width = self._strip_width(job, kind)
+        features = self._features(job, width)
+        hw_hat = self._predict_hw(features)
+        x = np.concatenate([features, [hw_hat]])
+        return float(np.exp(self._cycle_models[kind].predict(x)))
+
+    def estimate(self, job: Job, kind: MemoryKind):
+        if job.kernel != "spmm" or job.metadata is None or not self._cycle_models:
+            return self._oracle.estimate(job, kind)
+        beta = self.betas.get(job.kernel, DEFAULT_BETA)
+        return estimate_from_profile(
+            job.profile(kind),
+            t_compute_unit=self.predict_unit_compute(job, kind),
+            beta=beta,
+        )
+
+
+# ----------------------------------------------------------------------
+# The naive nnz / H_w classifier of Figure 10.
+# ----------------------------------------------------------------------
+def naive_metric(job: Job, kind: MemoryKind = MemoryKind.RERAM) -> float:
+    """Job size per allocation, ``nnz(x) / H_w(x)`` (paper III-E).
+
+    Uses the ReRAM strip width (w = 128) by default, matching the
+    paper's ``H_128`` plot.
+    """
+    nnz = job.tags.get("nnz")
+    hw = MLPPredictor._true_hw(job, kind)
+    if nnz is None:
+        raise ValueError(f"job {job.job_id} lacks an nnz tag")
+    return float(nnz) / max(1, hw)
+
+
+@dataclass
+class NaiveThresholdClassifier:
+    """One-dimensional threshold on ``nnz / H_w`` (the red line of
+    Figure 10): predicts "ReRAM preferred" above the threshold."""
+
+    threshold: float = 0.0
+
+    def fit(self, metrics, reram_preferred) -> "NaiveThresholdClassifier":
+        metrics = np.asarray(metrics, dtype=float)
+        labels = np.asarray(reram_preferred, dtype=bool)
+        if metrics.shape != labels.shape or metrics.size == 0:
+            raise ValueError("bad training data")
+        candidates = np.unique(metrics)
+        best_acc, best_thr = -1.0, float(candidates[0])
+        for threshold in candidates:
+            acc = float(np.mean((metrics >= threshold) == labels))
+            if acc > best_acc:
+                best_acc, best_thr = acc, float(threshold)
+        self.threshold = best_thr
+        return self
+
+    def predict(self, metrics) -> np.ndarray:
+        return np.asarray(metrics, dtype=float) >= self.threshold
+
+    def accuracy(self, metrics, reram_preferred) -> float:
+        labels = np.asarray(reram_preferred, dtype=bool)
+        return float(np.mean(self.predict(metrics) == labels))

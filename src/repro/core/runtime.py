@@ -1,0 +1,128 @@
+"""MLIMPRuntime: the system-software facade of Figure 6.
+
+The paper's runtime flow: a call to a function marked for in-memory
+processing generates MLIMP jobs; the scheduler (fed by the performance
+predictor) sizes and places them; per-memory queues drain onto the
+devices.  :class:`MLIMPRuntime` packages that flow behind a small API:
+
+    runtime = MLIMPRuntime(gnn_system())
+    runtime.submit(make_spmm_job(...))
+    runtime.submit_many(batch_jobs(...))
+    result = runtime.run()          # schedule + simulate the queue
+
+Swap the scheduler (``"ljf" | "adaptive" | "global"``) or inject a
+trained :class:`~repro.core.predictor.MLPPredictor` without touching
+the call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.mainmem import DDR4Config
+from .dispatcher import Dispatcher, DispatchResult
+from .job import Job
+from .predictor import OraclePredictor, PerformancePredictor
+from .scheduler import (
+    AdaptiveScheduler,
+    GlobalScheduler,
+    LJFScheduler,
+    MLIMPSystem,
+    Scheduler,
+    oracle_makespan,
+)
+
+__all__ = ["MLIMPRuntime"]
+
+_SCHEDULERS = {
+    "ljf": LJFScheduler,
+    "adaptive": AdaptiveScheduler,
+    "global": GlobalScheduler,
+}
+
+
+@dataclass
+class MLIMPRuntime:
+    """Job queue + scheduler + dispatcher for one MLIMP system."""
+
+    system: MLIMPSystem
+    scheduler: str | Scheduler = "global"
+    predictor: PerformancePredictor | None = None
+    ddr4: DDR4Config | None = None
+    _queue: list[Job] = field(default_factory=list, repr=False)
+    _history: list[DispatchResult] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scheduler, str) and self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(_SCHEDULERS)} or pass a Scheduler"
+            )
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Enqueue one job (a marked in-memory function call)."""
+        self._queue.append(job)
+
+    def submit_many(self, jobs) -> None:
+        for job in jobs:
+            self.submit(job)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def history(self) -> list[DispatchResult]:
+        """Results of every completed :meth:`run`."""
+        return list(self._history)
+
+    def _make_scheduler(self) -> Scheduler:
+        if isinstance(self.scheduler, Scheduler):
+            return self.scheduler
+        predictor = self.predictor or OraclePredictor()
+        return _SCHEDULERS[self.scheduler](predictor)
+
+    # ------------------------------------------------------------------
+    def plan_preview(self) -> dict[str, tuple[str, int]]:
+        """Dry-run the scheduler: job id -> (memory, arrays)."""
+        scheduler = self._make_scheduler()
+        policy = scheduler.plan(list(self._queue), self.system)
+        # Drain the policy against a fully-free view to read its plan.
+        from .scheduler.base import ResourceView
+
+        view = ResourceView(
+            now=float("inf"),  # time-driven plans release everything
+            free_slots={k: 10**9 for k in self.system.kinds},
+            free_arrays={k: self.system.arrays(k) for k in self.system.kinds},
+            largest_free_run={
+                k: self.system.arrays(k) for k in self.system.kinds
+            },
+        )
+        preview: dict[str, tuple[str, int]] = {}
+        guard = 0
+        while policy.pending() and guard < 10_000:
+            dispatches = policy.next_dispatches(view)
+            if not dispatches:
+                break
+            for dispatch in dispatches:
+                preview[dispatch.job.job_id] = (dispatch.kind.value, dispatch.arrays)
+            guard += 1
+        return preview
+
+    def oracle_bound(self) -> float:
+        """Fluid lower bound for the current queue."""
+        if not self._queue:
+            return 0.0
+        return oracle_makespan(list(self._queue), self.system)
+
+    def run(self, label: str = "") -> DispatchResult:
+        """Schedule and execute the queued jobs; clears the queue."""
+        scheduler = self._make_scheduler()
+        jobs, self._queue = self._queue, []
+        policy = scheduler.plan(jobs, self.system)
+        result = Dispatcher(self.system, self.ddr4).run(
+            policy, label=label or scheduler.name
+        )
+        self._history.append(result)
+        return result

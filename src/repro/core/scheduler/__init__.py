@@ -1,0 +1,35 @@
+"""MLIMP job schedulers: LJF baseline, adaptive, global, oracle bound."""
+
+from .adaptive import AdaptivePolicy, AdaptiveScheduler
+from .adjustments import PlannedJob, inter_queue_adjust, intra_queue_adjust, plan_job
+from .base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView, Scheduler
+from .globalsched import GlobalPolicy, GlobalScheduler
+from .johnson import JohnsonScheduler, flow_shop_makespan, johnson_order
+from .ljf import LJFPolicy, LJFScheduler
+from .oracle import oracle_makespan, single_memory_makespan
+from .wear import WearAwareScheduler, restrict_worn_memories
+
+__all__ = [
+    "AdaptivePolicy",
+    "AdaptiveScheduler",
+    "PlannedJob",
+    "inter_queue_adjust",
+    "intra_queue_adjust",
+    "plan_job",
+    "Dispatch",
+    "DispatchPolicy",
+    "MLIMPSystem",
+    "ResourceView",
+    "Scheduler",
+    "GlobalPolicy",
+    "GlobalScheduler",
+    "JohnsonScheduler",
+    "flow_shop_makespan",
+    "johnson_order",
+    "LJFPolicy",
+    "LJFScheduler",
+    "oracle_makespan",
+    "single_memory_makespan",
+    "WearAwareScheduler",
+    "restrict_worn_memories",
+]

@@ -1,0 +1,146 @@
+"""Adaptive scheduling (paper III-C4).
+
+Planning: each job is sized with the knee heuristic on every memory,
+queued on the memory where it is estimated fastest, and the queues are
+balanced with the inter-queue adjustment (Algorithm 1).
+
+Dispatching is greedy and *local*: whenever resources free up, queued
+jobs run if their requested allocation fits, larger jobs first; any
+remainder resources are *backfilled* with a waiting job if it can
+finish before the jobs already in flight.  Because dispatch decisions
+re-evaluate at every completion event, the adaptive scheduler absorbs
+prediction error -- at the price of scheduling bubbles from fragmented
+remainders (III-C5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...memories.base import MemoryKind
+from ..job import Job
+from ..predictor import PerformancePredictor
+from .adjustments import PlannedJob, inter_queue_adjust, job_fits, plan_job
+from .base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView, Scheduler
+
+__all__ = ["AdaptiveScheduler", "AdaptivePolicy"]
+
+
+class AdaptivePolicy(DispatchPolicy):
+    """Greedy largest-first dispatch with remainder backfill."""
+
+    def __init__(
+        self,
+        queues: dict[MemoryKind, list[PlannedJob]],
+        backfill: bool = True,
+    ) -> None:
+        # Largest estimated time first within each queue.
+        self._queues = {
+            kind: sorted(entries, key=lambda e: e.est_time, reverse=True)
+            for kind, entries in queues.items()
+        }
+        self._backfill = backfill
+        # Estimated completion times of in-flight jobs, per memory.
+        self._inflight: dict[MemoryKind, dict[str, float]] = {
+            kind: {} for kind in queues
+        }
+
+    def pending(self) -> int:
+        return sum(len(entries) for entries in self._queues.values())
+
+    def notify_completion(self, job: Job, kind: MemoryKind, now: float) -> None:
+        self._inflight.get(kind, {}).pop(job.job_id, None)
+
+    # ------------------------------------------------------------------
+    def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+        dispatches: list[Dispatch] = []
+        free_slots = dict(view.free_slots)
+        free_run = dict(view.largest_free_run)
+
+        # Pass 1: greedy, priority to larger jobs with their requested
+        # allocation.
+        for kind, queue in self._queues.items():
+            remaining: list[PlannedJob] = []
+            for entry in queue:
+                if free_slots.get(kind, 0) > 0 and free_run.get(kind, 0) >= entry.arrays:
+                    dispatches.append(
+                        Dispatch(job=entry.job, kind=kind, arrays=entry.arrays)
+                    )
+                    free_slots[kind] -= 1
+                    free_run[kind] -= entry.arrays
+                    self._inflight[kind][entry.job.job_id] = (
+                        view.now + entry.est_time
+                    )
+                else:
+                    remaining.append(entry)
+            self._queues[kind] = remaining
+
+        # Pass 2: backfill remainders with jobs that finish before the
+        # current in-flight work.
+        if self._backfill:
+            for kind, queue in self._queues.items():
+                run = free_run.get(kind, 0)
+                if free_slots.get(kind, 0) <= 0 or run <= 0 or not queue:
+                    continue
+                inflight = self._inflight.get(kind, {})
+                if not inflight:
+                    continue  # nothing to hide behind; pass 1 covers idle devices
+                horizon = min(inflight.values())
+                for entry in list(queue):
+                    if entry.estimate.unit_arrays > run:
+                        continue
+                    arrays = entry.estimate.snap_to_replica(run)
+                    finish = view.now + entry.estimate.total_time(arrays)
+                    if finish <= horizon:
+                        dispatches.append(
+                            Dispatch(job=entry.job, kind=kind, arrays=arrays)
+                        )
+                        queue.remove(entry)
+                        free_slots[kind] -= 1
+                        inflight[entry.job.job_id] = finish
+                        break
+        return dispatches
+
+
+@dataclass
+class AdaptiveScheduler(Scheduler):
+    """Knee-sized multi-queue LJF with inter-queue adjustment."""
+
+    predictor: PerformancePredictor
+    backfill: bool = True
+    inter_queue: bool = True
+    allocation_cap_fraction: float = 0.5
+    sizing: str = "knee"
+    name: str = "adaptive"
+
+    def build_queues(
+        self, jobs: list[Job], system: MLIMPSystem
+    ) -> dict[MemoryKind, list[PlannedJob]]:
+        """Knee-size every job and queue it on its best memory, then
+        apply Algorithm 1 (shared with the global scheduler)."""
+        queues: dict[MemoryKind, list[PlannedJob]] = {k: [] for k in system.kinds}
+        plans: dict[str, dict[MemoryKind, PlannedJob]] = {}
+        for job in jobs:
+            options = {
+                kind: plan_job(
+                    job,
+                    kind,
+                    self.predictor,
+                    system,
+                    self.allocation_cap_fraction,
+                    sizing=self.sizing,
+                )
+                for kind in system.kinds
+                if job_fits(job, kind, system)
+            }
+            if not options:
+                raise ValueError(f"job {job.job_id} fits no memory in the system")
+            plans[job.job_id] = options
+            best = min(options.values(), key=lambda entry: entry.est_time)
+            queues[best.kind].append(best)
+        if self.inter_queue:
+            queues = inter_queue_adjust(queues, plans, system)
+        return queues
+
+    def plan(self, jobs: list[Job], system: MLIMPSystem) -> AdaptivePolicy:
+        return AdaptivePolicy(self.build_queues(jobs, system), backfill=self.backfill)

@@ -1,0 +1,273 @@
+"""Queue-balancing heuristics: Algorithms 1 and 2 of the paper.
+
+*Inter-queue adjustment* (Algorithm 1) balances the mean estimated
+execution time across the per-memory queues by migrating the job that
+is cheapest on the under-loaded memory out of the most loaded queue.
+
+*Intra-queue adjustment* (Algorithm 2) balances job completion times
+*within* each queue by trading allocation away from the smallest job
+to the longest one until the longest meets the queue mean.
+
+Both operate on :class:`PlannedJob` entries -- (job, memory,
+allocation, estimate) tuples produced during planning -- and on the
+smooth scale-free estimates, never on ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ...memories.base import MemoryKind
+from ..job import Job
+from ..perfmodel import ScaleFreeEstimate, knee_allocation
+from ..predictor import PerformancePredictor
+from .base import MLIMPSystem
+
+__all__ = ["PlannedJob", "plan_job", "inter_queue_adjust", "intra_queue_adjust"]
+
+#: Maximum balancing iterations (the paper's "up to N times").
+MAX_ROUNDS = 64
+
+#: Relative acceptable gap between queue means / job times.
+EPSILON_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """One queue entry: where a job will run and with how much memory."""
+
+    job: Job
+    kind: MemoryKind
+    arrays: int
+    estimate: ScaleFreeEstimate
+
+    @property
+    def est_time(self) -> float:
+        return self.estimate.total_time(self.arrays)
+
+    def with_arrays(self, arrays: int) -> "PlannedJob":
+        return replace(self, arrays=arrays)
+
+
+def job_fits(job: Job, kind: MemoryKind, system: MLIMPSystem) -> bool:
+    """A job is eligible on a memory only if one replica fits it."""
+    return (
+        kind in job.profiles
+        and job.profile(kind).unit_arrays <= system.arrays(kind)
+    )
+
+
+def plan_job(
+    job: Job,
+    kind: MemoryKind,
+    predictor: PerformancePredictor,
+    system: MLIMPSystem,
+    allocation_cap_fraction: float = 0.5,
+    sizing: str = "knee",
+) -> PlannedJob:
+    """Size one job on one memory.
+
+    ``sizing`` selects the allocation heuristic: ``"knee"`` (the
+    paper's III-C3 choice), ``"min"`` (strict t(x, m) minimiser --
+    over-provisions), or ``"unit"`` (no replication; the ablation
+    baseline for the replication study).
+    """
+    if not job_fits(job, kind, system):
+        raise ValueError(f"job {job.job_id} does not fit on {kind}")
+    estimate = predictor.estimate(job, kind)
+    cap = max(
+        estimate.unit_arrays, int(system.arrays(kind) * allocation_cap_fraction)
+    )
+    cap = min(max(cap, estimate.unit_arrays), system.arrays(kind))
+    if sizing == "knee":
+        arrays = knee_allocation(estimate, cap)
+    elif sizing == "min":
+        from ..perfmodel import min_time_allocation
+
+        arrays = min_time_allocation(estimate, cap)
+    elif sizing == "unit":
+        arrays = estimate.unit_arrays
+    else:
+        raise ValueError(f"unknown sizing policy {sizing!r}")
+    return PlannedJob(job=job, kind=kind, arrays=arrays, estimate=estimate)
+
+
+def _queue_mean(queue: list[PlannedJob]) -> float:
+    if not queue:
+        return 0.0
+    return sum(entry.est_time for entry in queue) / len(queue)
+
+
+def pipe_drain_estimate(
+    queues: dict[MemoryKind, list[PlannedJob]],
+    pipe_bandwidth_bps: float,
+) -> float:
+    """Time for the shared off-chip pipe to stream every queued fill.
+
+    All non-DRAM fills share the DDR4 channels (the dispatcher's
+    processor-sharing pipe); in-DRAM jobs fill in situ and stay off
+    the pipe.  Without this term the balancer happily migrates
+    multi-GB database scans off DRAM and the pipe becomes the actual
+    bottleneck.
+    """
+    total_bytes = 0.0
+    for kind, entries in queues.items():
+        if kind is MemoryKind.DRAM:
+            continue
+        for entry in entries:
+            profile = entry.job.profile(kind)
+            total_bytes += profile.fill_bytes * profile.n_iter
+    return total_bytes / pipe_bandwidth_bps
+
+
+def queue_drain_estimate(
+    queue: list[PlannedJob], kind: MemoryKind, system: MLIMPSystem
+) -> float:
+    """Estimated time for ``kind`` to drain its queue.
+
+    The device is limited both by job slots and by array-seconds, so
+    the drain estimate is the larger of the two fluid bounds.  This is
+    the balancing metric of our Algorithm 1 implementation: the
+    paper's get_mean balances per-job means, which coincides with the
+    drain time for same-length queues but under-weights a queue
+    holding many more jobs; balancing drain times is what actually
+    equalises "the execution time between queues" (Fig. 8 middle).
+    """
+    if not queue:
+        return 0.0
+    slot_seconds = sum(entry.est_time for entry in queue)
+    array_seconds = sum(entry.est_time * entry.arrays for entry in queue)
+    return max(
+        slot_seconds / system.slots(kind),
+        array_seconds / system.arrays(kind),
+    )
+
+
+#: Aggregate DDR4 bandwidth of the evaluated system (4 x DDR4-2400);
+#: kept in sync with :class:`repro.sim.mainmem.DDR4Config` defaults.
+DEFAULT_PIPE_BANDWIDTH_BPS = 76.8e9
+
+
+def inter_queue_adjust(
+    queues: dict[MemoryKind, list[PlannedJob]],
+    plans: dict[str, dict[MemoryKind, PlannedJob]],
+    system: MLIMPSystem,
+    epsilon_fraction: float = EPSILON_FRACTION,
+    max_rounds: int | None = None,
+    pipe_bandwidth_bps: float = DEFAULT_PIPE_BANDWIDTH_BPS,
+) -> dict[MemoryKind, list[PlannedJob]]:
+    """Algorithm 1: balance estimated drain time across queues.
+
+    ``plans`` holds every job's pre-computed plan on every supported
+    memory (built once during planning), so candidate evaluation is a
+    lookup.  Each round migrates the job out of the most-loaded queue
+    that best reduces the drain-time spread; the loop stops when the
+    queues are within epsilon or no migration improves (the paper's
+    "if t-bar improves else break").
+    """
+    queues = {kind: list(entries) for kind, entries in queues.items()}
+    if max_rounds is None:
+        # Balancing may need to move a sizeable fraction of the batch.
+        max_rounds = max(MAX_ROUNDS, sum(len(q) for q in queues.values()))
+
+    def drains() -> dict[MemoryKind, float]:
+        return {
+            kind: queue_drain_estimate(entries, kind, system)
+            for kind, entries in queues.items()
+        }
+
+    def system_max() -> float:
+        return max(
+            max(drains().values()),
+            pipe_drain_estimate(queues, pipe_bandwidth_bps),
+        )
+
+    for _ in range(max_rounds):
+        current = drains()
+        max_kind = max(current, key=current.get)  # type: ignore[arg-type]
+        spread = current[max_kind] - min(current.values())
+        overall = sum(current.values()) / max(1, len(current))
+        if spread <= epsilon_fraction * max(overall, 1e-30):
+            break
+        current_max = system_max()
+        # Consider every under-loaded target; take the move with the
+        # smallest post-migration maximum drain (pipe included).
+        best_move: tuple[float, PlannedJob, MemoryKind, PlannedJob] | None = None
+        for target, target_drain in current.items():
+            if target is max_kind or target_drain >= current[max_kind]:
+                continue
+            candidates = [
+                entry
+                for entry in queues[max_kind]
+                if target in plans[entry.job.job_id]
+            ]
+            if not candidates:
+                continue
+            moved = min(
+                candidates, key=lambda e: plans[e.job.job_id][target].est_time
+            )
+            replanned = plans[moved.job.job_id][target]
+            queues[max_kind].remove(moved)
+            queues[target].append(replanned)
+            new_max = system_max()
+            queues[target].remove(replanned)
+            queues[max_kind].append(moved)
+            if new_max < current_max and (
+                best_move is None or new_max < best_move[0]
+            ):
+                best_move = (new_max, moved, target, replanned)
+        if best_move is None:
+            break
+        _, moved, target, replanned = best_move
+        queues[max_kind].remove(moved)
+        queues[target].append(replanned)
+    return queues
+
+
+def intra_queue_adjust(
+    queues: dict[MemoryKind, list[PlannedJob]],
+    system: MLIMPSystem,
+    epsilon_fraction: float = EPSILON_FRACTION,
+    max_rounds: int = MAX_ROUNDS,
+) -> dict[MemoryKind, list[PlannedJob]]:
+    """Algorithm 2: trade allocation from short jobs to the longest."""
+    adjusted: dict[MemoryKind, list[PlannedJob]] = {}
+    for kind, entries in queues.items():
+        queue = list(entries)
+        cap = system.arrays(kind)
+        for _ in range(max_rounds):
+            if len(queue) < 2:
+                break
+            queue.sort(key=lambda entry: entry.est_time, reverse=True)
+            longest = queue[0]
+            mean_t = _queue_mean(queue)
+            if longest.est_time - mean_t <= epsilon_fraction * max(mean_t, 1e-30):
+                break
+            # Arrays the longest job needs to reach the mean (already a
+            # whole replica multiple of its unit allocation).  If no
+            # allocation improves the longest job, stop.
+            needed = longest.estimate.invert_total_time(mean_t, cap)
+            if longest.estimate.total_time(needed) >= longest.est_time:
+                break
+            swap_cnt = needed - longest.arrays
+            # Donor: the shortest job with spare allocation above its
+            # unit minimum.
+            donors = [
+                entry
+                for entry in reversed(queue)
+                if entry is not longest and entry.arrays > entry.estimate.unit_arrays
+            ]
+            if not donors or swap_cnt <= 0:
+                break
+            donor = donors[0]
+            donor_new = donor.estimate.snap_to_replica(
+                max(donor.estimate.unit_arrays, donor.arrays - swap_cnt)
+            )
+            released = donor.arrays - donor_new
+            longest_new = longest.estimate.snap_to_replica(longest.arrays + released)
+            if released <= 0 or longest_new <= longest.arrays:
+                break
+            queue[queue.index(donor)] = donor.with_arrays(donor_new)
+            queue[queue.index(longest)] = longest.with_arrays(longest_new)
+        adjusted[kind] = queue
+    return adjusted

@@ -1,0 +1,122 @@
+"""Scheduler framework: system description, dispatch policies.
+
+Scheduling in MLIMP is a Resource-Constrained Project Scheduling
+Problem (paper III-C1): for every job the scheduler picks a *memory
+type*, an *allocation size*, and an *execution order*.  Each concrete
+scheduler plans a batch of jobs and returns a
+:class:`DispatchPolicy` -- a small object the event-driven dispatcher
+consults at time zero and after every job completion to learn what to
+launch next.  This uniform shape covers the naive single-queue LJF
+baseline, the adaptive multi-queue scheduler, and the global scheduler
+that fixes the complete plan in advance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ...memories.base import MemoryKind, MemorySpec
+from ..job import Job
+
+__all__ = ["MLIMPSystem", "Dispatch", "ResourceView", "DispatchPolicy", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class MLIMPSystem:
+    """The set of in-memory devices available to the scheduler."""
+
+    specs: dict[MemoryKind, MemorySpec]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("system needs at least one memory device")
+        for kind, spec in self.specs.items():
+            if spec.kind is not kind:
+                raise ValueError(f"spec for {kind} has kind {spec.kind}")
+
+    @property
+    def kinds(self) -> list[MemoryKind]:
+        return list(self.specs)
+
+    def arrays(self, kind: MemoryKind) -> int:
+        return self.specs[kind].num_arrays
+
+    def slots(self, kind: MemoryKind) -> int:
+        return self.specs[kind].max_outstanding_jobs
+
+    def fair_share(self, kind: MemoryKind) -> int:
+        """``a_unit = max_size / P``: the fixed per-job allocation of
+        the LJF baseline (paper III-C2)."""
+        return max(1, self.arrays(kind) // self.slots(kind))
+
+    def subset(self, kinds) -> "MLIMPSystem":
+        """System restricted to some memory layers (Fig. 12's device
+        mixtures)."""
+        chosen = {kind: self.specs[kind] for kind in kinds}
+        return MLIMPSystem(specs=chosen)
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One launch decision: run ``job`` on ``kind`` with ``arrays``."""
+
+    job: Job
+    kind: MemoryKind
+    arrays: int
+
+    def __post_init__(self) -> None:
+        if self.arrays < 1:
+            raise ValueError("dispatch must allocate at least one array")
+        if self.kind not in self.job.profiles:
+            raise ValueError(f"{self.job.job_id} does not support {self.kind}")
+
+
+@dataclass
+class ResourceView:
+    """What a policy can observe when asked for dispatches."""
+
+    now: float
+    free_slots: dict[MemoryKind, int]
+    free_arrays: dict[MemoryKind, int]
+    largest_free_run: dict[MemoryKind, int]
+
+    def can_place(self, kind: MemoryKind, arrays: int) -> bool:
+        return (
+            self.free_slots.get(kind, 0) > 0
+            and self.largest_free_run.get(kind, 0) >= arrays
+        )
+
+
+class DispatchPolicy(abc.ABC):
+    """Callback object driving the event-driven dispatcher."""
+
+    @abc.abstractmethod
+    def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+        """Jobs to launch right now; called at t=0 and after every
+        completion.  Must never return a dispatch that does not fit
+        the view."""
+
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Jobs not yet dispatched (the dispatcher uses this to detect
+        starvation/livelock)."""
+
+    def notify_completion(self, job: Job, kind: MemoryKind, now: float) -> None:
+        """Hook: a dispatched job finished (adaptive policies use it)."""
+
+    def next_event_time(self, now: float) -> float | None:
+        """Next *planned* time this policy wants to be consulted, for
+        time-driven (statically scheduled) policies.  ``None`` means
+        event-driven only (the default)."""
+        return None
+
+
+class Scheduler(abc.ABC):
+    """Plans a batch of jobs into a dispatch policy."""
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def plan(self, jobs: list[Job], system: MLIMPSystem) -> DispatchPolicy:
+        """Build the policy for one batch."""

@@ -1,0 +1,192 @@
+"""Global scheduling (paper III-C5).
+
+Starts from the adaptive scheduler's balanced queues, then applies the
+*intra-queue adjustment* (Algorithm 2): allocation is traded from the
+shortest jobs to the longest within each queue so every job finishes
+near the queue's mean -- removing the fragmented-remainder bubbles the
+adaptive scheduler suffers.  A **complete dispatch schedule is then
+generated in advance** by list-scheduling the adjusted queues against
+the device capacities with the *estimated* durations, including a
+full-utilisation adjustment that grows the last placeable job over
+remainder arrays no waiting job could use.
+
+At runtime the plan is executed as planned: each job launches at its
+planned start (once its planned resources are actually free), with no
+reordering, re-sizing, or backfill.  This yields the best utilisation
+when predictions are accurate -- and degrades under predictor noise,
+when honouring a stale plan inflates tail latency, which is exactly
+the sigma ~ 0.39 adaptive/global crossover of Section V-B3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...memories.base import MemoryKind
+from ..job import Job
+from ..predictor import PerformancePredictor
+from .adaptive import AdaptiveScheduler
+from .adjustments import PlannedJob, intra_queue_adjust
+from .base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView, Scheduler
+
+__all__ = ["GlobalScheduler", "GlobalPolicy", "ScheduledEntry", "build_static_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledEntry:
+    """One line of the precomputed dispatch schedule."""
+
+    planned_start: float
+    entry: PlannedJob
+
+
+def build_static_schedule(
+    queues: dict[MemoryKind, list[PlannedJob]],
+    system: MLIMPSystem,
+    dispatch_overhead_s: float = 2e-6,
+    pipe_bandwidth_bps: float = 76.8e9,
+) -> list[ScheduledEntry]:
+    """List-schedule the queues offline with estimated durations.
+
+    Jobs of every memory are placed jointly: per memory, longest-first
+    order; at every (estimated) completion event, place every job
+    whose allocation fits the free arrays and slots.  If the remainder
+    after a placement cannot host any waiting job, the placed job's
+    allocation is grown to soak it up (the III-C5 full-utilisation
+    adjustment).  Planned durations model what the runtime charges:
+    the dispatch overhead and the *shared* off-chip fill pipe
+    (approximated FIFO at nominal bandwidth; in-DRAM fills bypass it).
+    Returns planned (start, job, allocation) entries.
+    """
+    waiting = {
+        kind: sorted(entries, key=lambda e: e.est_time, reverse=True)
+        for kind, entries in queues.items()
+    }
+    free_arrays = {kind: system.arrays(kind) for kind in queues}
+    free_slots = {kind: system.slots(kind) for kind in queues}
+    running: list[tuple[float, MemoryKind, int]] = []  # (est end, kind, arrays)
+    pipe_free_at = 0.0
+    now = 0.0
+    schedule: list[ScheduledEntry] = []
+
+    def place_all() -> None:
+        nonlocal pipe_free_at
+        placed_any = True
+        while placed_any:
+            placed_any = False
+            for kind, queue in waiting.items():
+                for entry in list(queue):
+                    if free_slots[kind] <= 0 or entry.arrays > free_arrays[kind]:
+                        continue
+                    arrays = entry.arrays
+                    others = [e for e in queue if e is not entry]
+                    min_other = min((e.arrays for e in others), default=None)
+                    if min_other is None or free_arrays[kind] - arrays < min_other:
+                        ceiling = entry.estimate.max_useful_arrays or free_arrays[kind]
+                        arrays = entry.estimate.snap_to_replica(
+                            min(free_arrays[kind], max(arrays, ceiling))
+                        )
+                    queue.remove(entry)
+                    profile = entry.job.profile(kind)
+                    fill_bytes = profile.fill_bytes * profile.n_iter
+                    start = now
+                    end = start + dispatch_overhead_s + entry.estimate.total_time(arrays)
+                    if kind is not MemoryKind.DRAM and fill_bytes > 0:
+                        # FIFO approximation of the shared pipe: the
+                        # fill waits behind earlier fills.
+                        fill_time = fill_bytes / pipe_bandwidth_bps
+                        fill_start = max(start + dispatch_overhead_s, pipe_free_at)
+                        pipe_free_at = fill_start + fill_time
+                        end += max(0.0, fill_start - (start + dispatch_overhead_s))
+                    schedule.append(
+                        ScheduledEntry(planned_start=start, entry=entry.with_arrays(arrays))
+                    )
+                    running.append((end, kind, arrays))
+                    free_arrays[kind] -= arrays
+                    free_slots[kind] -= 1
+                    placed_any = True
+
+    place_all()
+    while any(waiting.values()):
+        if not running:  # nothing fits an empty device: impossible
+            stuck = {k.value: len(q) for k, q in waiting.items() if q}
+            raise ValueError(f"static schedule stuck with jobs pending: {stuck}")
+        running.sort()
+        end, kind, arrays = running.pop(0)
+        now = end
+        free_arrays[kind] += arrays
+        free_slots[kind] += 1
+        place_all()
+    schedule.sort(key=lambda s: s.planned_start)
+    return schedule
+
+
+class GlobalPolicy(DispatchPolicy):
+    """Executes the precomputed schedule, strictly as planned.
+
+    A job launches no earlier than its planned start, in plan order
+    per memory, with its planned allocation.  If the actual execution
+    runs behind the plan (mispredicted durations), launches wait for
+    the planned resources to free up -- the tail-latency failure mode
+    the paper ascribes to global scheduling under predictor noise.
+    """
+
+    def __init__(self, schedule: list[ScheduledEntry]) -> None:
+        self._schedule = list(schedule)
+
+    def pending(self) -> int:
+        return len(self._schedule)
+
+    def next_event_time(self, now: float) -> float | None:
+        if not self._schedule:
+            return None
+        return self._schedule[0].planned_start
+
+    def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+        dispatches: list[Dispatch] = []
+        free_slots = dict(view.free_slots)
+        free_run = dict(view.largest_free_run)
+        blocked: set[MemoryKind] = set()
+        for scheduled in list(self._schedule):
+            if scheduled.planned_start > view.now:
+                break  # schedule is time-ordered
+            entry = scheduled.entry
+            kind = entry.kind
+            if kind in blocked:
+                continue  # strict per-memory plan order
+            if free_slots.get(kind, 0) <= 0 or free_run.get(kind, 0) < entry.arrays:
+                blocked.add(kind)
+                continue
+            self._schedule.remove(scheduled)
+            dispatches.append(Dispatch(job=entry.job, kind=kind, arrays=entry.arrays))
+            free_slots[kind] -= 1
+            free_run[kind] -= entry.arrays
+        return dispatches
+
+
+@dataclass
+class GlobalScheduler(Scheduler):
+    """Adaptive planning + Algorithm 2 + a static dispatch schedule."""
+
+    predictor: PerformancePredictor
+    intra_queue: bool = True
+    allocation_cap_fraction: float = 0.5
+    name: str = "global"
+
+    def plan(self, jobs: list[Job], system: MLIMPSystem) -> GlobalPolicy:
+        base = AdaptiveScheduler(
+            predictor=self.predictor,
+            allocation_cap_fraction=self.allocation_cap_fraction,
+        )
+        queues = base.build_queues(jobs, system)
+        if self.intra_queue:
+            queues = intra_queue_adjust(queues, system)
+        # The static plan must be feasible: cap every allocation at the
+        # device size.
+        capped: dict[MemoryKind, list[PlannedJob]] = {}
+        for kind, entries in queues.items():
+            cap = system.arrays(kind)
+            capped[kind] = [
+                entry.with_arrays(min(entry.arrays, cap)) for entry in entries
+            ]
+        return GlobalPolicy(build_static_schedule(capped, system))

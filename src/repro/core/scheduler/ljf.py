@@ -1,0 +1,94 @@
+"""Baseline: naive Longest-Job-First scheduling (paper III-C2).
+
+The baseline does *not* adjust memory allocation sizes: every job gets
+the fixed fair share ``a_unit = max_size / P`` (P = outstanding job
+slots).  Jobs enter a single queue in descending order of their
+shortest estimated execution time; whenever a spot opens, the job at
+the *head* is dispatched to its best-performing memory.  Head-of-line
+blocking is deliberate -- the paper notes this naive policy "is likely
+to result in the single processor performance of the best in-memory
+processor" (V-B3), which is what Figure 16's 34%-of-oracle baseline
+shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...memories.base import MemoryKind
+from ..job import Job
+from ..predictor import PerformancePredictor
+from .base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView, Scheduler
+
+__all__ = ["LJFScheduler", "LJFPolicy"]
+
+
+@dataclass
+class _QueuedJob:
+    job: Job
+    best_kind: MemoryKind
+    best_time: float
+    arrays: int
+
+
+class LJFPolicy(DispatchPolicy):
+    """Single FIFO queue with strict head-of-line dispatch."""
+
+    def __init__(self, queue: list[_QueuedJob]) -> None:
+        self._queue = queue
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+        dispatches: list[Dispatch] = []
+        free_slots = dict(view.free_slots)
+        free_run = dict(view.largest_free_run)
+        while self._queue:
+            head = self._queue[0]
+            kind = head.best_kind
+            if free_slots.get(kind, 0) <= 0 or free_run.get(kind, 0) < head.arrays:
+                break  # naive head-of-line blocking
+            self._queue.pop(0)
+            dispatches.append(Dispatch(job=head.job, kind=kind, arrays=head.arrays))
+            free_slots[kind] -= 1
+            free_run[kind] -= head.arrays
+        return dispatches
+
+
+@dataclass
+class LJFScheduler(Scheduler):
+    """Longest-Job-First with fixed fair-share allocations."""
+
+    predictor: PerformancePredictor
+    name: str = "ljf"
+
+    def plan(self, jobs: list[Job], system: MLIMPSystem) -> LJFPolicy:
+        if not jobs:
+            return LJFPolicy([])
+        entries: list[_QueuedJob] = []
+        for job in jobs:
+            best_kind: MemoryKind | None = None
+            best_time = float("inf")
+            best_arrays = 1
+            for kind in system.kinds:
+                if kind not in job.profiles:
+                    continue
+                estimate = self.predictor.estimate(job, kind)
+                if estimate.unit_arrays > system.arrays(kind):
+                    continue  # one replica does not even fit this device
+                arrays = max(system.fair_share(kind), estimate.unit_arrays)
+                arrays = min(arrays, system.arrays(kind))
+                t = estimate.total_time(arrays)
+                if t < best_time:
+                    best_kind, best_time, best_arrays = kind, t, arrays
+            if best_kind is None:
+                raise ValueError(f"job {job.job_id} fits no memory in the system")
+            entries.append(
+                _QueuedJob(
+                    job=job, best_kind=best_kind, best_time=best_time, arrays=best_arrays
+                )
+            )
+        # Longest (shortest-execution-time metric) first.
+        entries.sort(key=lambda entry: entry.best_time, reverse=True)
+        return LJFPolicy(entries)

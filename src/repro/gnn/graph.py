@@ -1,0 +1,150 @@
+"""CSR graph substrate for the GNN workloads.
+
+Immutable compressed-sparse-row adjacency with the operations the GNN
+pipeline needs: degree queries, induced subgraph extraction (the
+neighbour sampler's output), and the symmetric normalisation
+``D^{-1/2} A D^{-1/2}`` used by GCN aggregation (paper II-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Directed graph in CSR form (undirected graphs store both arcs).
+
+    ``indptr`` has length ``num_nodes + 1``; ``indices[indptr[v]:
+    indptr[v+1]]`` are the out-neighbours of ``v``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_nodes: int
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        indptr = np.asarray(self.indptr, dtype=np.int64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D")
+        if len(indptr) != self.num_nodes + 1:
+            raise ValueError("indptr length must be num_nodes + 1")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("indptr endpoints are inconsistent with indices")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(indices) and (indices.min() < 0 or indices.max() >= self.num_nodes):
+            raise ValueError("indices out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: np.ndarray, name: str = "graph", symmetric: bool = True
+    ) -> "CSRGraph":
+        """Build from an (E, 2) edge array; optionally symmetrise.
+
+        Duplicate arcs and self-loops are removed.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if symmetric and len(edges):
+            edges = np.concatenate([edges, edges[:, ::-1]], axis=0)
+        if len(edges):
+            edges = edges[edges[:, 0] != edges[:, 1]]
+            # unique arcs via linear keys
+            keys = edges[:, 0] * num_nodes + edges[:, 1]
+            edges = edges[np.unique(keys, return_index=True)[1]]
+            order = np.lexsort((edges[:, 1], edges[:, 0]))
+            edges = edges[order]
+        counts = np.bincount(edges[:, 0], minlength=num_nodes) if len(edges) else np.zeros(
+            num_nodes, dtype=np.int64
+        )
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        indices = edges[:, 1] if len(edges) else np.empty(0, dtype=np.int64)
+        return cls(indptr=indptr, indices=indices, num_nodes=num_nodes, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Stored arcs (an undirected edge counts twice)."""
+        return int(len(self.indices))
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros of the adjacency matrix (alias of ``num_edges``)."""
+        return self.num_edges
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range")
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def avg_degree(self) -> float:
+        return self.num_edges / self.num_nodes if self.num_nodes else 0.0
+
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: np.ndarray, name: str | None = None) -> "CSRGraph":
+        """Subgraph on ``nodes`` with locally re-numbered vertices.
+
+        The order of ``nodes`` defines the new numbering (duplicates
+        are rejected).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(np.unique(nodes)) != len(nodes):
+            raise ValueError("node list contains duplicates")
+        mapping = np.full(self.num_nodes, -1, dtype=np.int64)
+        mapping[nodes] = np.arange(len(nodes))
+        # Vectorised gather of all adjacency runs of the kept nodes.
+        starts = self.indptr[nodes]
+        counts = self.indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        if total:
+            run_offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            flat = np.arange(total) + np.repeat(starts - run_offsets, counts)
+            local_dst = mapping[self.indices[flat]]
+            local_src = np.repeat(np.arange(len(nodes)), counts)
+            keep = local_dst >= 0
+            local_src, local_dst = local_src[keep], local_dst[keep]
+            order = np.lexsort((local_dst, local_src))
+            local_src, local_dst = local_src[order], local_dst[order]
+        else:
+            local_src = local_dst = np.empty(0, dtype=np.int64)
+        sub_counts = np.bincount(local_src, minlength=len(nodes))
+        return CSRGraph(
+            indptr=np.concatenate([[0], np.cumsum(sub_counts)]),
+            indices=local_dst,
+            num_nodes=len(nodes),
+            name=name or f"{self.name}/sub{len(nodes)}",
+        )
+
+    def normalized_adjacency_values(self) -> np.ndarray:
+        """Edge values of ``D^{-1/2} A D^{-1/2}`` in CSR order.
+
+        Isolated endpoints contribute zero (they have no edges anyway);
+        GCN's renormalisation trick adds self loops upstream if wanted.
+        """
+        deg = self.degrees().astype(float)
+        inv_sqrt = np.zeros_like(deg)
+        nonzero = deg > 0
+        inv_sqrt[nonzero] = 1.0 / np.sqrt(deg[nonzero])
+        rows = np.repeat(np.arange(self.num_nodes), np.diff(self.indptr))
+        return inv_sqrt[rows] * inv_sqrt[self.indices]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"arcs={self.num_edges})"
+        )

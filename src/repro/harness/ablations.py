@@ -1,0 +1,203 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation flips one design decision of the paper and measures the
+consequence, regenerating the paper's inline justifications:
+
+* B-stationary vs C-stationary SpMM reuse (III-D3: "4.3x better
+  memory latency performance and 42x better compute performance").
+* Knee-based allocation vs the strict t(x, m) minimiser (III-C3's
+  over-provisioning argument).
+* Replication on/off (III-C3: replication exploits data reuse).
+* The inter-/intra-queue adjustments on/off (Algorithms 1 and 2).
+* Concatenated vs per-query subgraphs for high-connectivity graphs
+  (Section IV).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..core.dispatcher import Dispatcher
+from ..core.predictor import OraclePredictor
+from ..core.scheduler import AdaptiveScheduler, GlobalScheduler
+from ..gnn import DATASETS, GCNConfig, batch_jobs, generate, sample_batches
+from ..kernels.spmm import spmm_profile, spmm_profile_c_stationary
+from ..memories import MemoryKind
+from .config import scaled_specs
+from .gnn import build_workload, run_workload
+from .reporting import Report
+
+__all__ = [
+    "ablation_stationary",
+    "ablation_knee",
+    "ablation_replication",
+    "ablation_adjustments",
+    "ablation_concat",
+    "ABLATIONS",
+]
+
+
+def ablation_stationary(dataset: str = "collab") -> Report:
+    """B-stationary vs C-stationary SpMM (paper III-D3, on collab)."""
+    workload = build_workload(dataset, num_batches=2, seed=3)
+    spec = workload.specs[MemoryKind.SRAM]
+    load_ratios, compute_ratios = [], []
+    for batch in workload.batches:
+        for subgraph in batch:
+            b_stat = spmm_profile(spec, subgraph.graph, 128)
+            c_stat = spmm_profile_c_stationary(spec, subgraph.graph, 128)
+            load_ratios.append(
+                (c_stat.t_load * c_stat.n_iter) / (b_stat.t_load * b_stat.n_iter)
+            )
+            compute_ratios.append(
+                (c_stat.t_compute_unit * c_stat.n_iter)
+                / (b_stat.t_compute_unit * b_stat.n_iter)
+            )
+    report = Report(
+        title=f"Ablation -- SpMM reuse pattern, C-stationary / B-stationary ({dataset})",
+        columns=["metric", "median", "mean"],
+    )
+    report.add_row(
+        "memory (load) penalty",
+        round(statistics.median(load_ratios), 2),
+        round(statistics.mean(load_ratios), 2),
+    )
+    report.add_row(
+        "compute penalty",
+        round(statistics.median(compute_ratios), 2),
+        round(statistics.mean(compute_ratios), 2),
+    )
+    report.note("paper (ogbl-collab): 4.3x memory latency, 42x compute")
+    return report
+
+
+def ablation_knee(dataset: str = "citation") -> Report:
+    """Knee sizing vs strict minimisation vs unit allocations."""
+    workload = build_workload(dataset, num_batches=2, seed=3)
+    predictor = OraclePredictor()
+    dispatcher = Dispatcher(workload.system)
+    report = Report(
+        title=f"Ablation -- allocation sizing policy ({dataset})",
+        columns=["sizing", "total_time", "mean_arrays"],
+    )
+    for sizing in ("knee", "min", "unit"):
+        total = 0.0
+        arrays: list[int] = []
+        for jobs in workload.jobs_per_batch:
+            scheduler = AdaptiveScheduler(predictor, sizing=sizing)
+            result = dispatcher.run(scheduler.plan(jobs, workload.system))
+            total += result.makespan
+            arrays.extend(r.arrays for r in result.records.values())
+        report.add_row(sizing, total, round(statistics.mean(arrays), 1))
+    knee_time = report.row("knee")[1]
+    min_time = report.row("min")[1]
+    unit_time = report.row("unit")[1]
+    report.note(
+        f"knee vs min: {min_time / knee_time:.2f}x (min over-provisions, III-C3); "
+        f"knee vs unit: {unit_time / knee_time:.2f}x (replication pays off)"
+    )
+    return report
+
+
+def ablation_replication(dataset: str = "ddi") -> Report:
+    """Replication on/off for the replication-friendly concat jobs."""
+    workload = build_workload(dataset, num_batches=2, seed=3)
+    predictor = OraclePredictor()
+    dispatcher = Dispatcher(workload.system)
+    report = Report(
+        title=f"Ablation -- replication ({dataset})",
+        columns=["policy", "total_time"],
+    )
+    for label, sizing in (("with replication (knee)", "knee"), ("unit only", "unit")):
+        total = sum(
+            dispatcher.run(
+                AdaptiveScheduler(predictor, sizing=sizing).plan(jobs, workload.system)
+            ).makespan
+            for jobs in workload.jobs_per_batch
+        )
+        report.add_row(label, total)
+    ratio = report.rows[1][1] / report.rows[0][1]
+    report.note(f"disabling replication costs {ratio:.2f}x")
+    return report
+
+
+def ablation_adjustments(dataset: str = "citation") -> Report:
+    """Algorithms 1 and 2 on/off."""
+    workload = build_workload(dataset, num_batches=2, seed=3)
+    predictor = OraclePredictor()
+    variants = [
+        ("adaptive", AdaptiveScheduler(predictor)),
+        ("adaptive w/o inter-queue", AdaptiveScheduler(predictor, inter_queue=False)),
+        ("adaptive w/o backfill", AdaptiveScheduler(predictor, backfill=False)),
+        ("global", GlobalScheduler(predictor)),
+        ("global w/o intra-queue", GlobalScheduler(predictor, intra_queue=False)),
+    ]
+    report = Report(
+        title=f"Ablation -- scheduler adjustments ({dataset})",
+        columns=["variant", "total_time", "vs_adaptive"],
+    )
+    base = None
+    for label, scheduler in variants:
+        total = run_workload(workload, scheduler).total_makespan
+        if base is None:
+            base = total
+        report.add_row(label, total, round(total / base, 3))
+    report.note(
+        "per-batch GCN queues are preference-balanced already, so the "
+        "adjustments move little here; they matter when one memory is "
+        "oversubscribed (see tests/test_core_scheduler.py)"
+    )
+    return report
+
+
+def ablation_concat(dataset: str = "ddi") -> Report:
+    """Concatenated vs per-query subgraphs (Section IV)."""
+    spec = DATASETS[dataset]
+    graph = generate(dataset)
+    specs = scaled_specs()
+    predictor = OraclePredictor()
+    report = Report(
+        title=f"Ablation -- concatenated vs per-query subgraphs ({dataset})",
+        columns=["mode", "jobs", "fill_bytes", "total_time"],
+    )
+    from ..core.scheduler import MLIMPSystem
+
+    system = MLIMPSystem(specs=specs)
+    dispatcher = Dispatcher(system)
+    config = GCNConfig.three_layer(spec.feature_dim)
+    for label, concat in (("concatenated", True), ("per-query", False)):
+        batches = sample_batches(
+            graph, num_batches=2, batch_size=16, hops=3,
+            fanout=spec.fanout, concat=concat, seed=5,
+        )
+        total = 0.0
+        n_jobs = 0
+        fill = 0.0
+        for i, batch in enumerate(batches):
+            jobs = batch_jobs(batch, config, specs, batch_id=i)
+            n_jobs += len(jobs)
+            fill += sum(
+                job.profile(MemoryKind.SRAM).fill_bytes
+                * job.profile(MemoryKind.SRAM).n_iter
+                for job in jobs
+            )
+            total += dispatcher.run(
+                GlobalScheduler(predictor).plan(jobs, system)
+            ).makespan
+        report.add_row(label, n_jobs, fill, total)
+    concat_row, per_query_row = report.rows
+    report.note(
+        f"per-query costs {per_query_row[3] / concat_row[3]:.2f}x the time and "
+        f"{per_query_row[2] / concat_row[2]:.1f}x the feature traffic on this "
+        "high-connectivity graph (why the paper concatenates ppa/ddi)"
+    )
+    return report
+
+
+ABLATIONS = {
+    "stationary": ablation_stationary,
+    "knee": ablation_knee,
+    "replication": ablation_replication,
+    "adjustments": ablation_adjustments,
+    "concat": ablation_concat,
+}

@@ -1,0 +1,59 @@
+"""Evaluation configuration: device scaling for the GNN experiments.
+
+The Table I graphs are scaled down ~50-2500x so the whole evaluation
+runs on one machine (see DESIGN.md); to keep the *regime* of the
+paper's resource-constrained scheduling problem -- unit allocations
+that are a substantial fraction of a device, a handful of jobs
+resident at once, allocation-size decisions that matter -- the device
+array counts are scaled by :data:`DEVICE_SCALE` for the GNN
+experiments.  Clocks, per-array geometry and bandwidths stay at their
+Table III values, so per-job compute/fill ratios are preserved.
+
+The data-parallel application experiments (Figures 17-19) use the
+full-size devices: their working sets are full-size too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.scheduler import MLIMPSystem
+from ..memories import DEFAULT_SPECS, MemoryKind, MemorySpec
+
+__all__ = ["DEVICE_SCALE", "scaled_specs", "gnn_system", "full_system"]
+
+#: Array-count divisor for the GNN experiments.
+DEVICE_SCALE = 64
+
+#: Floor on scaled array counts so every device stays usable.
+_MIN_ARRAYS = 8
+
+
+def scaled_specs(
+    scale: int = DEVICE_SCALE,
+    kinds: list[MemoryKind] | None = None,
+) -> dict[MemoryKind, MemorySpec]:
+    """Table III specs with array counts divided by ``scale``."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    chosen = kinds if kinds is not None else list(DEFAULT_SPECS)
+    return {
+        kind: replace(
+            DEFAULT_SPECS[kind],
+            num_arrays=max(_MIN_ARRAYS, DEFAULT_SPECS[kind].num_arrays // scale),
+        )
+        for kind in chosen
+    }
+
+
+def gnn_system(
+    scale: int = DEVICE_SCALE, kinds: list[MemoryKind] | None = None
+) -> MLIMPSystem:
+    """The scaled system used by the GNN experiments."""
+    return MLIMPSystem(specs=scaled_specs(scale, kinds))
+
+
+def full_system(kinds: list[MemoryKind] | None = None) -> MLIMPSystem:
+    """The full Table III system (data-parallel app experiments)."""
+    chosen = kinds if kinds is not None else list(DEFAULT_SPECS)
+    return MLIMPSystem(specs={k: DEFAULT_SPECS[k] for k in chosen})

@@ -1,0 +1,158 @@
+"""Functional SIMD-DFG executor (fixed-point reference semantics).
+
+The cross-compiler costs kernels; this module *runs* them.  Every
+frontend op gets a reference implementation over 16-bit fixed-point
+lanes (numpy int64 carrying Q8.8 values by default for the
+transcendentals), so application kernels and tests can check that a
+DFG computes what its author intended before caring how fast any
+memory runs it.
+
+Semantics notes:
+
+* integers wrap modulo ``2^bits`` (the in-memory ALUs are modular);
+* ``CMP`` yields 0/1 masks, ``SELECT(mask, value)`` keeps ``value``
+  where the mask is set;
+* transcendentals (exp2/log2/sqrt/recip) interpret lanes as unsigned
+  Q(bits-fraction_bits).fraction_bits fixed point and return the same
+  format, saturating on overflow -- matching what LUT/polynomial
+  lowering would produce up to quantisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dfg import DFG
+from .ops import Op
+
+__all__ = ["execute_dfg", "FixedPointFormat"]
+
+
+class FixedPointFormat:
+    """Unsigned fixed-point interpretation of a lane value."""
+
+    def __init__(self, bits: int = 16, fraction_bits: int = 8) -> None:
+        if not 0 <= fraction_bits < bits:
+            raise ValueError("fraction_bits must be in [0, bits)")
+        self.bits = bits
+        self.fraction_bits = fraction_bits
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def one(self) -> int:
+        return 1 << self.fraction_bits
+
+    def to_real(self, values: np.ndarray) -> np.ndarray:
+        return values.astype(np.float64) / self.one
+
+    def from_real(self, reals: np.ndarray) -> np.ndarray:
+        quantised = np.round(reals * self.one)
+        return np.clip(quantised, 0, self.mask).astype(np.int64)
+
+
+def _shift_amount(values: np.ndarray, bits: int) -> np.ndarray:
+    return np.clip(values, 0, bits - 1).astype(np.int64)
+
+
+def execute_dfg(
+    dfg: DFG,
+    inputs: dict[str, np.ndarray],
+    fmt: FixedPointFormat | None = None,
+) -> dict[str, np.ndarray]:
+    """Evaluate ``dfg`` over SIMD lanes; returns its output registers.
+
+    ``inputs`` maps every DFG input/const name to an equal-length
+    integer array (interpreted per ``fmt`` for transcendentals).
+    """
+    dfg.validate()
+    fmt = fmt or FixedPointFormat()
+    mask = fmt.mask
+
+    values: dict[str, np.ndarray] = {}
+    lanes: int | None = None
+    for name in dfg.inputs:
+        if name not in inputs:
+            raise ValueError(f"missing input {name!r}")
+        array = np.asarray(inputs[name], dtype=np.int64) & mask
+        if lanes is None:
+            lanes = array.shape[0]
+        elif array.shape != (lanes,):
+            raise ValueError("all inputs must have equal lane counts")
+        values[name] = array
+
+    for node in dfg.topological():
+        if node.is_input:
+            continue
+        args = [values[dep] for dep in node.inputs]
+        op = node.op
+        assert op is not None
+        if op in (Op.ADD, Op.MAC):
+            # MAC's reference semantics here: acc + a*b when three
+            # operands, else a + b (chained two-operand form).
+            if op is Op.MAC and len(args) >= 2:
+                out = (args[0] * args[1]) & mask
+                for extra in args[2:]:
+                    out = (out + extra) & mask
+            else:
+                out = (args[0] + args[1]) & mask
+        elif op is Op.SUB:
+            out = (args[0] - args[1]) & mask
+        elif op is Op.MUL:
+            out = (args[0] * args[1]) & mask
+        elif op is Op.DIV:
+            denom = np.where(args[1] == 0, 1, args[1])
+            out = (args[0] // denom) & mask
+        elif op is Op.MIN:
+            out = np.minimum(args[0], args[1])
+        elif op is Op.MAX:
+            out = np.maximum(args[0], args[1])
+        elif op is Op.ABS:
+            out = args[0]  # unsigned lanes: identity
+        elif op is Op.CMP:
+            out = (args[0] >= args[1]).astype(np.int64)
+        elif op is Op.SELECT:
+            mask_arg = args[0] != 0
+            kept = args[1]
+            other = args[2] if len(args) > 2 else np.zeros_like(kept)
+            out = np.where(mask_arg, kept, other)
+        elif op is Op.MOV:
+            out = args[0].copy()
+        elif op is Op.AND:
+            out = args[0] & args[1]
+        elif op is Op.OR:
+            out = args[0] | args[1]
+        elif op is Op.XOR:
+            out = args[0] ^ args[1]
+        elif op is Op.NOT:
+            out = (~args[0]) & mask
+        elif op is Op.SHL:
+            out = (args[0] << _shift_amount(args[1], fmt.bits)) & mask
+        elif op is Op.SHR:
+            out = args[0] >> _shift_amount(args[1], fmt.bits)
+        elif op is Op.ROTL:
+            amount = _shift_amount(args[1], fmt.bits)
+            out = ((args[0] << amount) | (args[0] >> (fmt.bits - amount))) & mask
+        elif op is Op.EXP2:
+            out = fmt.from_real(np.exp2(np.minimum(fmt.to_real(args[0]), 30.0)))
+        elif op is Op.LOG2:
+            real = np.maximum(fmt.to_real(args[0]), 1.0 / fmt.one)
+            out = fmt.from_real(np.maximum(np.log2(real), 0.0))
+        elif op is Op.SQRT:
+            out = fmt.from_real(np.sqrt(fmt.to_real(args[0])))
+        elif op is Op.RECIP:
+            real = np.maximum(fmt.to_real(args[0]), 1.0 / fmt.one)
+            out = fmt.from_real(1.0 / real)
+        elif op is Op.LUT:
+            out = args[0].copy()  # identity table by default
+        elif op is Op.REDUCE_ADD:
+            out = np.full_like(args[0], args[0].sum() & mask)
+        elif op in (Op.LOAD, Op.STORE):
+            out = args[0].copy() if args else np.zeros(lanes or 1, dtype=np.int64)
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(f"no reference semantics for {op}")
+        values[node.name] = out & mask
+
+    return {name: values[name] for name in dfg.outputs}

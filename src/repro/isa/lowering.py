@@ -1,0 +1,52 @@
+"""Legalisation of frontend ops into target-native micro-op bags.
+
+:func:`lower_op` expands one frontend operation into the multiset of
+*native* micro-operations the target executes, using the same
+expansion rules that :func:`repro.isa.timing.op_cycles` costs.  This
+is exposed separately so tests and the instruction-mix reports can see
+*what* a target executes, not just how long it takes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..memories.base import MemoryKind
+from .ops import Op
+from .timing import LoweringError, _EXPANSIONS, is_native
+
+__all__ = ["lower_op", "lower_histogram", "LoweringError"]
+
+_MAX_DEPTH = 8
+
+
+def lower_op(kind: MemoryKind, op: Op, _depth: int = 0) -> Counter[Op]:
+    """Expand ``op`` into native micro-ops for ``kind``.
+
+    Native ops map to themselves; ``LOAD``/``STORE`` are memory-system
+    events and lower to an empty bag.
+    """
+    if op in (Op.LOAD, Op.STORE):
+        return Counter()
+    if _depth > _MAX_DEPTH:
+        raise LoweringError(f"lowering of {op} on {kind} does not terminate")
+    if is_native(kind, op):
+        return Counter({op: 1})
+    expansion = _EXPANSIONS[kind].get(op)
+    if expansion is None:
+        raise LoweringError(f"{op} is not supported on {kind} and has no lowering")
+    bag: Counter[Op] = Counter()
+    for sub_op, count in expansion:
+        sub_bag = lower_op(kind, sub_op, _depth + 1)
+        for native_op, n in sub_bag.items():
+            bag[native_op] += n * count
+    return bag
+
+
+def lower_histogram(kind: MemoryKind, histogram: Counter[Op]) -> Counter[Op]:
+    """Lower a whole frontend instruction mix to native micro-ops."""
+    lowered: Counter[Op] = Counter()
+    for op, count in histogram.items():
+        for native_op, n in lower_op(kind, op).items():
+            lowered[native_op] += n * count
+    return lowered

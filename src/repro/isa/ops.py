@@ -1,0 +1,101 @@
+"""Operation set of the MLIMP common programming interface.
+
+The paper (III-B1) takes the *intersection* of arithmetic operations
+supported by the in-SRAM, in-DRAM and in-ReRAM proposals: integer
+addition, subtraction, multiplication, division, comparison, moves and
+simple transcendentals (e.g. ``exp2``), plus the bulk bitwise
+operations that motivate in-DRAM computing.  Each abstract operation
+is expanded into target micro-operations by the per-memory lowering
+rules in :mod:`repro.isa.lowering`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Op", "OpClass", "OP_CLASSES", "COMMUTATIVE_OPS"]
+
+
+class Op(enum.Enum):
+    """Frontend operations expressible in a SIMD data-flow graph."""
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MAC = "mac"  # fused multiply-accumulate
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    # Comparison / selection
+    CMP = "cmp"
+    SELECT = "select"
+    # Data movement
+    MOV = "mov"
+    LOAD = "load"
+    STORE = "store"
+    # Bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    ROTL = "rotl"
+    # Transcendental (lowered to shifts/LUTs/polynomials per target)
+    EXP2 = "exp2"
+    LOG2 = "log2"
+    SQRT = "sqrt"
+    RECIP = "recip"
+    # Cross-lane
+    REDUCE_ADD = "reduce_add"
+    LUT = "lut"  # table lookup (peripheral LUT on ReRAM)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class OpClass(enum.Enum):
+    """Coarse grouping used for instruction-mix reporting."""
+
+    ARITH = "arith"
+    MULDIV = "muldiv"
+    BITWISE = "bitwise"
+    MOVE = "move"
+    TRANSCENDENTAL = "transcendental"
+    REDUCTION = "reduction"
+    MEMORY = "memory"
+
+
+OP_CLASSES: dict[Op, OpClass] = {
+    Op.ADD: OpClass.ARITH,
+    Op.SUB: OpClass.ARITH,
+    Op.MIN: OpClass.ARITH,
+    Op.MAX: OpClass.ARITH,
+    Op.ABS: OpClass.ARITH,
+    Op.CMP: OpClass.ARITH,
+    Op.SELECT: OpClass.ARITH,
+    Op.MUL: OpClass.MULDIV,
+    Op.DIV: OpClass.MULDIV,
+    Op.MAC: OpClass.MULDIV,
+    Op.RECIP: OpClass.MULDIV,
+    Op.AND: OpClass.BITWISE,
+    Op.OR: OpClass.BITWISE,
+    Op.XOR: OpClass.BITWISE,
+    Op.NOT: OpClass.BITWISE,
+    Op.SHL: OpClass.BITWISE,
+    Op.SHR: OpClass.BITWISE,
+    Op.ROTL: OpClass.BITWISE,
+    Op.MOV: OpClass.MOVE,
+    Op.LOAD: OpClass.MEMORY,
+    Op.STORE: OpClass.MEMORY,
+    Op.EXP2: OpClass.TRANSCENDENTAL,
+    Op.LOG2: OpClass.TRANSCENDENTAL,
+    Op.SQRT: OpClass.TRANSCENDENTAL,
+    Op.LUT: OpClass.TRANSCENDENTAL,
+    Op.REDUCE_ADD: OpClass.REDUCTION,
+}
+
+#: Operations whose operands may be swapped by the compiler.
+COMMUTATIVE_OPS = frozenset({Op.ADD, Op.MUL, Op.MIN, Op.MAX, Op.AND, Op.OR, Op.XOR})

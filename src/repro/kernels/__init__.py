@@ -1,0 +1,28 @@
+"""Kernel mappings: GEMM, SpMM and element-wise kernels per memory."""
+
+from .gemm import gemm_flops, gemm_profile, make_gemm_job
+from .mapping import (
+    BUFFER_ARRAY_OVERHEAD,
+    STATIONARY_FRACTION,
+    elements_per_wordline,
+    spmm_strip_width,
+    spmm_unit_arrays,
+)
+from .spmm import make_spmm_job, spmm_macs, spmm_profile
+from .vadd import make_vadd_job, vadd_profile
+
+__all__ = [
+    "gemm_flops",
+    "gemm_profile",
+    "make_gemm_job",
+    "BUFFER_ARRAY_OVERHEAD",
+    "STATIONARY_FRACTION",
+    "elements_per_wordline",
+    "spmm_strip_width",
+    "spmm_unit_arrays",
+    "make_spmm_job",
+    "spmm_macs",
+    "spmm_profile",
+    "make_vadd_job",
+    "vadd_profile",
+]

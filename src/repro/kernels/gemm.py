@@ -1,0 +1,174 @@
+"""GEMM kernel mapping (paper III-D2).
+
+Computes ``Y = X @ W`` with input ``X`` of shape (rows, k) and the
+stationary weight matrix ``W`` of shape (k, n) -- the *combination*
+step of a GCN layer.
+
+Bit-serial targets (SRAM/DRAM) follow the Neural-Cache style mapping:
+the weight matrix is serialised across SIMD lanes and the input
+feature vector is *duplicated* for each output column, so all k*n
+products of one input row issue in parallel, followed by a log-depth
+cross-lane reduction per output column.
+
+The ReRAM target uses the natural ISAAC 2-D mapping: weights stationary
+as conductances, inputs streamed bit-parallel on the wordlines, the
+k-operand dot product accumulating on the bitlines in one analog MAC;
+column-partitioned crossbars cover wide output dimensions.
+
+Weight *replication* across a larger allocation lets several input
+rows proceed in parallel (paper: "weights can also be replicated to
+fully utilize the available memory space").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..isa.ops import Op
+from ..isa.timing import op_cycles
+from ..memories.base import ELEMENT_BYTES, MemoryKind, MemorySpec
+from ..core.job import Job, JobPerfProfile
+from .mapping import (
+    cap_unit_arrays,
+    elements_per_wordline,
+    nominal_load_seconds,
+    replica_copy_seconds,
+)
+
+__all__ = ["gemm_profile", "make_gemm_job", "gemm_flops"]
+
+
+def gemm_flops(rows: int, k: int, n: int) -> int:
+    """Multiply-accumulate count of the GEMM (one MAC = 2 flops)."""
+    return 2 * rows * k * n
+
+
+def _bitserial_profile(
+    spec: MemorySpec, rows: int, k: int, n: int,
+    resident_inputs: bool, resident_weights: bool,
+) -> JobPerfProfile:
+    lattice = k * n  # parallel products of one input row
+    lanes = spec.usable_lanes(vector_width=lattice)
+    unit_arrays = max(1, math.ceil(lattice / lanes))
+    # A device too small for one full weight replica serialises each
+    # input row over several waves instead.
+    unit_arrays, lattice_chunks = cap_unit_arrays(spec, unit_arrays)
+    # One wave = one input row (chunk): products in parallel, then a
+    # log2(k)-level cross-lane reduction per output column.
+    mac = op_cycles(spec.kind, Op.MAC, spec.element_bits)
+    reduce_level = op_cycles(spec.kind, Op.REDUCE_ADD, spec.element_bits)
+    wave_cycles = mac + max(0, math.ceil(math.log2(max(2, k)))) * reduce_level
+    t_compute_unit = spec.seconds(rows * lattice_chunks * wave_cycles)
+
+    weight_bytes = k * n * ELEMENT_BYTES
+    input_bytes = rows * k * ELEMENT_BYTES
+    loaded_bytes = (0 if resident_weights else weight_bytes) + (
+        0 if resident_inputs else input_bytes
+    )
+    # Input duplication for each output column is an in-memory copy.
+    duplication_bytes = rows * k * (n - 1) * ELEMENT_BYTES
+    t_load = nominal_load_seconds(spec, loaded_bytes) + spec.copy_seconds(
+        duplication_bytes
+    )
+    t_replica = replica_copy_seconds(spec, weight_bytes)
+
+    energy = (
+        rows * k * n * spec.energy_per_mac_pj
+        + rows * n * math.ceil(math.log2(max(2, k))) * spec.energy_per_mac_pj * 0.1
+    ) * 1e-12
+    return JobPerfProfile(
+        unit_arrays=unit_arrays,
+        t_load=t_load,
+        t_replica_unit=t_replica,
+        t_compute_unit=t_compute_unit,
+        waves_unit=max(1, rows * lattice_chunks),
+        n_iter=1,
+        fill_bytes=loaded_bytes,
+        compute_energy_j=energy,
+        vector_width=min(lattice, spec.alus_per_array),
+    )
+
+
+def _reram_profile(
+    spec: MemorySpec, rows: int, k: int, n: int,
+    resident_inputs: bool, resident_weights: bool,
+) -> JobPerfProfile:
+    per_line = elements_per_wordline(spec)  # 16 output columns per crossbar
+    row_chunks = math.ceil(k / spec.geometry.rows)  # 128-operand bitline sums
+    col_chunks = math.ceil(n / per_line)
+    unit_arrays = max(1, row_chunks * col_chunks)
+    unit_arrays, lattice_chunks = cap_unit_arrays(spec, unit_arrays)
+    mac = op_cycles(spec.kind, Op.MAC, spec.element_bits)
+    accum = op_cycles(spec.kind, Op.ADD, spec.element_bits)
+    # One wave = one input row across all crossbars of the replica.
+    wave_cycles = mac * 1 + max(0, row_chunks - 1) * accum
+    t_compute_unit = spec.seconds(rows * lattice_chunks * wave_cycles)
+
+    weight_bytes = k * n * ELEMENT_BYTES
+    input_bytes = rows * k * ELEMENT_BYTES
+    loaded_bytes = (0 if resident_weights else weight_bytes) + (
+        0 if resident_inputs else input_bytes
+    )
+    # No input duplication: the crossbar broadcasts inputs on wordlines.
+    t_load = nominal_load_seconds(spec, loaded_bytes)
+    t_replica = replica_copy_seconds(spec, weight_bytes)
+
+    # One analog op covers up to 128 operands: energy is charged per
+    # multi-operand op per output lane.
+    ops = rows * row_chunks * n
+    energy = ops * spec.energy_per_mac_pj * 1e-12
+    return JobPerfProfile(
+        unit_arrays=unit_arrays,
+        t_load=t_load,
+        t_replica_unit=t_replica,
+        t_compute_unit=t_compute_unit,
+        waves_unit=max(1, rows * lattice_chunks),
+        n_iter=1,
+        fill_bytes=loaded_bytes,
+        compute_energy_j=energy,
+        vector_width=per_line,
+    )
+
+
+def gemm_profile(
+    spec: MemorySpec,
+    rows: int,
+    k: int,
+    n: int,
+    resident_inputs: bool = False,
+    resident_weights: bool = False,
+) -> JobPerfProfile:
+    """Ground-truth profile of an (rows x k) @ (k x n) GEMM on ``spec``.
+
+    ``resident_inputs`` marks the activations as already in the
+    compute region (chained from a previous in-memory kernel);
+    ``resident_weights`` marks the stationary weights as reused across
+    the batch (loaded once, paper III-D2) -- both suppress the
+    corresponding off-chip fill.
+    """
+    if min(rows, k, n) < 1:
+        raise ValueError("rows, k and n must be positive")
+    if spec.kind is MemoryKind.RERAM:
+        return _reram_profile(spec, rows, k, n, resident_inputs, resident_weights)
+    return _bitserial_profile(spec, rows, k, n, resident_inputs, resident_weights)
+
+
+def make_gemm_job(
+    job_id: str,
+    rows: int,
+    k: int,
+    n: int,
+    specs: dict[MemoryKind, MemorySpec],
+    resident_inputs: bool = False,
+    resident_weights: bool = False,
+    tags: dict | None = None,
+) -> Job:
+    """Cross-map one GEMM onto every configured memory layer."""
+    profiles = {
+        kind: gemm_profile(spec, rows, k, n, resident_inputs, resident_weights)
+        for kind, spec in specs.items()
+    }
+    job_tags = {"rows": rows, "k": k, "n": n, "flops": gemm_flops(rows, k, n)}
+    if tags:
+        job_tags.update(tags)
+    return Job(job_id=job_id, kernel="gemm", profiles=profiles, tags=job_tags)

@@ -1,0 +1,85 @@
+"""Element-wise vector kernels (Vadd and friends).
+
+The third GCN kernel the paper reports (Figure 11) is a plain vector
+add -- bias/residual additions over the node-feature matrix.  Mapping
+is trivial: operands vertically aligned per lane, one bit-serial add
+(or peripheral add on ReRAM) per element.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.job import Job, JobPerfProfile
+from ..isa.ops import Op
+from ..isa.timing import op_cycles
+from ..memories.base import ELEMENT_BYTES, MemoryKind, MemorySpec
+from .mapping import (
+    STATIONARY_FRACTION,
+    cap_unit_arrays,
+    nominal_load_seconds,
+    replica_copy_seconds,
+)
+
+__all__ = ["vadd_profile", "make_vadd_job"]
+
+
+def vadd_profile(
+    spec: MemorySpec,
+    elements: int,
+    vector_width: int | None = None,
+    op: Op = Op.ADD,
+    resident: bool = False,
+) -> JobPerfProfile:
+    """Ground-truth profile for an element-wise ``op`` over ``elements``.
+
+    ``resident`` marks both operands as already in the compute region
+    (chained in-memory kernels), suppressing the off-chip fill.
+    """
+    if elements < 1:
+        raise ValueError("elements must be positive")
+    # Both operands plus the result live in the array.
+    footprint = 3 * elements * ELEMENT_BYTES
+    capacity = spec.geometry.bytes * STATIONARY_FRACTION * 2  # operands may overwrite
+    unit_arrays = max(1, math.ceil(footprint / capacity))
+    unit_arrays, n_iter = cap_unit_arrays(spec, unit_arrays)
+
+    elements_per_iter = math.ceil(elements / n_iter)
+    lanes = spec.usable_lanes(vector_width) * unit_arrays
+    waves = max(1, math.ceil(elements_per_iter / lanes))
+    cycles = op_cycles(spec.kind, op, spec.element_bits)
+    t_compute_unit = spec.seconds(waves * cycles)
+
+    in_bytes = 0 if resident else 2 * elements * ELEMENT_BYTES
+    energy_per_op = spec.energy_per_mac_pj * cycles / spec.mac_cycles_2op
+    return JobPerfProfile(
+        unit_arrays=unit_arrays,
+        t_load=nominal_load_seconds(spec, in_bytes / n_iter),
+        t_replica_unit=replica_copy_seconds(spec, elements_per_iter * ELEMENT_BYTES),
+        t_compute_unit=t_compute_unit,
+        waves_unit=waves,
+        n_iter=n_iter,
+        fill_bytes=in_bytes / n_iter,
+        compute_energy_j=elements * energy_per_op * 1e-12,
+        vector_width=vector_width,
+    )
+
+
+def make_vadd_job(
+    job_id: str,
+    elements: int,
+    specs: dict[MemoryKind, MemorySpec],
+    vector_width: int | None = None,
+    op: Op = Op.ADD,
+    resident: bool = False,
+    tags: dict | None = None,
+) -> Job:
+    """Cross-map an element-wise kernel onto every memory layer."""
+    profiles = {
+        kind: vadd_profile(spec, elements, vector_width, op, resident)
+        for kind, spec in specs.items()
+    }
+    job_tags = {"elements": elements, "op": op.value}
+    if tags:
+        job_tags.update(tags)
+    return Job(job_id=job_id, kernel="vadd", profiles=profiles, tags=job_tags)

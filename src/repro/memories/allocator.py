@@ -1,0 +1,153 @@
+"""Scratchpad-style allocator for in-memory compute regions.
+
+The paper (III-B2) deliberately avoids integrating in-memory compute
+with general memory virtualisation: compute workspaces are carved out
+of a *coarse-grained* scratchpad partition of each memory (VLS-style
+cache-way partitioning for SRAM; bank groups for DRAM; crossbar tiles
+for ReRAM), so compute regions co-exist with conventionally-managed
+memory at low hardware cost.
+
+This module implements that model.  A :class:`ScratchpadAllocator`
+manages the arrays of one device: a fixed ``reserved_fraction`` is held
+back for normal cache/memory duty, and the remaining compute arrays are
+handed out in contiguous *partitions* (the allocation quantum the
+scheduler reasons about).  Allocations are tracked by handle so
+double-frees and leaks surface as errors rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .base import MemorySpec
+
+__all__ = ["Allocation", "ScratchpadAllocator", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation request cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle for one granted compute workspace."""
+
+    handle: int
+    arrays: int
+    start: int
+    spec: MemorySpec
+
+    @property
+    def bytes(self) -> int:
+        return self.arrays * self.spec.geometry.bytes
+
+    @property
+    def alus(self) -> int:
+        return self.arrays * self.spec.alus_per_array
+
+
+@dataclass
+class ScratchpadAllocator:
+    """First-fit contiguous allocator over a device's compute arrays.
+
+    Parameters
+    ----------
+    spec:
+        The device being partitioned.
+    reserved_fraction:
+        Fraction of arrays held back for conventional memory duty
+        (e.g. the half of the LLC kept as a normal cache is already
+        excluded from ``spec.num_arrays``; this knob models *further*
+        dynamic reservation and defaults to zero).
+    """
+
+    spec: MemorySpec
+    reserved_fraction: float = 0.0
+    _free_runs: list[tuple[int, int]] = field(default_factory=list, repr=False)
+    _live: dict[int, Allocation] = field(default_factory=dict, repr=False)
+    _handles: "itertools.count[int]" = field(default_factory=itertools.count, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reserved_fraction < 1.0:
+            raise ValueError("reserved_fraction must be in [0, 1)")
+        usable = int(self.spec.num_arrays * (1.0 - self.reserved_fraction))
+        if usable <= 0:
+            raise ValueError("reservation leaves no compute arrays")
+        self._free_runs = [(0, usable)]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_arrays(self) -> int:
+        """Arrays available for compute after reservation."""
+        return int(self.spec.num_arrays * (1.0 - self.reserved_fraction))
+
+    @property
+    def free_arrays(self) -> int:
+        return sum(length for _, length in self._free_runs)
+
+    @property
+    def used_arrays(self) -> int:
+        return self.total_arrays - self.free_arrays
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    @property
+    def largest_free_run(self) -> int:
+        """Largest contiguous run -- what a single job can actually get."""
+        return max((length for _, length in self._free_runs), default=0)
+
+    def utilisation(self) -> float:
+        return self.used_arrays / self.total_arrays if self.total_arrays else 0.0
+
+    # ------------------------------------------------------------------
+    def allocate(self, arrays: int) -> Allocation:
+        """Grant ``arrays`` contiguous compute arrays (first fit)."""
+        if arrays <= 0:
+            raise ValueError("must allocate at least one array")
+        for index, (start, length) in enumerate(self._free_runs):
+            if length >= arrays:
+                allocation = Allocation(
+                    handle=next(self._handles),
+                    arrays=arrays,
+                    start=start,
+                    spec=self.spec,
+                )
+                remaining = length - arrays
+                if remaining:
+                    self._free_runs[index] = (start + arrays, remaining)
+                else:
+                    del self._free_runs[index]
+                self._live[allocation.handle] = allocation
+                return allocation
+        raise AllocationError(
+            f"{self.spec.name}: no contiguous run of {arrays} arrays "
+            f"(free={self.free_arrays}, largest run={self.largest_free_run})"
+        )
+
+    def allocate_bytes(self, nbytes: int) -> Allocation:
+        """Allocate enough arrays to hold ``nbytes`` of workspace."""
+        return self.allocate(max(1, self.spec.arrays_for_bytes(nbytes)))
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation; coalesces adjacent free runs."""
+        live = self._live.pop(allocation.handle, None)
+        if live is None:
+            raise AllocationError(f"double free or foreign handle: {allocation.handle}")
+        self._free_runs.append((live.start, live.arrays))
+        self._free_runs.sort()
+        merged: list[tuple[int, int]] = []
+        for start, length in self._free_runs:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                prev_start, prev_len = merged[-1]
+                merged[-1] = (prev_start, prev_len + length)
+            else:
+                merged.append((start, length))
+        self._free_runs = merged
+
+    def reset(self) -> None:
+        """Drop every live allocation (end of a batch)."""
+        self._live.clear()
+        self._free_runs = [(0, self.total_arrays)]

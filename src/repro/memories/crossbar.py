@@ -1,0 +1,128 @@
+"""Functional analog ReRAM crossbar model (paper II-B3, Fig. 3).
+
+Weights are programmed as cell conductances (2 bits per cell, Table
+III); driving input voltages on the wordlines makes each bitline
+accumulate the current sum ``sum_i G_ij * V_i`` per Kirchhoff's law --
+a native multi-operand MAC.  Full-precision operands are handled
+ISAAC-style: a 16-bit weight is spread over 8 consecutive 2-bit cells
+of a wordline, inputs are streamed as 1-bit slices through the DACs,
+and the peripheral shift-and-add recombines the partial sums sensed by
+the ADC each cycle.
+
+The model quantises the bitline current through a configurable-width
+ADC, so tests can show both the exact-arithmetic case (wide ADC) and
+the saturation error of an undersized ADC -- the precision concern the
+in-ReRAM literature engineers around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AnalogCrossbar"]
+
+
+@dataclass
+class AnalogCrossbar:
+    """One crossbar tile: ``rows`` wordlines x ``cols`` bitline cells.
+
+    ``bits_per_cell`` and the geometry default to the Table III
+    configuration (128 x 128 x 2 bit).  ``weight_bits`` values occupy
+    ``weight_bits / bits_per_cell`` adjacent cells, so a 128-cell row
+    holds 16 full-precision weights -- the ``elements_per_wordline``
+    the kernel mappings assume.
+    """
+
+    rows: int = 128
+    cols: int = 128
+    bits_per_cell: int = 2
+    weight_bits: int = 16
+    adc_bits: int = 32
+    cycles: int = 0
+    _conductance: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.weight_bits % self.bits_per_cell:
+            raise ValueError("weight_bits must be a multiple of bits_per_cell")
+        if self.cells_per_weight > self.cols:
+            raise ValueError("a weight does not fit one wordline")
+        self._conductance = np.zeros((self.rows, self.cols), dtype=np.int64)
+
+    @property
+    def cells_per_weight(self) -> int:
+        return self.weight_bits // self.bits_per_cell
+
+    @property
+    def weights_per_row(self) -> int:
+        return self.cols // self.cells_per_weight
+
+    # ------------------------------------------------------------------
+    def program(self, weights) -> None:
+        """Program a (rows x weights_per_row) unsigned weight matrix.
+
+        Each weight is decomposed into ``bits_per_cell``-wide slices,
+        most significant cell first, exactly one conductance level per
+        cell.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.shape != (self.rows, self.weights_per_row):
+            raise ValueError(
+                f"expected ({self.rows}, {self.weights_per_row}) weights"
+            )
+        if weights.min() < 0 or weights.max() >= (1 << self.weight_bits):
+            raise ValueError("weight out of range")
+        levels = 1 << self.bits_per_cell
+        for w in range(self.weights_per_row):
+            value = weights[:, w].copy()
+            for cell in range(self.cells_per_weight - 1, -1, -1):
+                self._conductance[:, w * self.cells_per_weight + cell] = value % levels
+                value //= levels
+        # Cell programming is slow; charged by the timing model, not here.
+
+    # ------------------------------------------------------------------
+    def _analog_cycle(self, voltages: np.ndarray) -> np.ndarray:
+        """One analog step: bitline currents for 1-bit wordline inputs,
+        quantised by the ADC."""
+        currents = voltages.astype(np.int64) @ self._conductance
+        ceiling = (1 << self.adc_bits) - 1
+        self.cycles += 1
+        return np.minimum(currents, ceiling)
+
+    def mac(self, inputs, active_rows=None) -> np.ndarray:
+        """Multi-operand MAC: ``inputs @ weights`` over active rows.
+
+        Streams the ``weight_bits``-wide inputs one bit-slice per cycle
+        (the Table III 8-cycle figure has 2 input bits per cycle; we
+        stream single bits and count ``weight_bits`` cycles, the same
+        published constant up to the DAC width) and recombines cell
+        positions with the peripheral shift-and-add.
+        Returns one value per stored weight column.
+        """
+        inputs = np.asarray(inputs, dtype=np.int64)
+        if inputs.shape != (self.rows,):
+            raise ValueError(f"expected {self.rows} inputs")
+        if inputs.min() < 0 or inputs.max() >= (1 << self.weight_bits):
+            raise ValueError("input out of range")
+        mask = np.ones(self.rows, dtype=bool)
+        if active_rows is not None:
+            mask = np.zeros(self.rows, dtype=bool)
+            mask[np.asarray(active_rows)] = True
+
+        levels = 1 << self.bits_per_cell
+        column_totals = np.zeros(self.cols, dtype=np.int64)
+        for bit in range(self.weight_bits):
+            voltages = (((inputs >> bit) & 1).astype(bool) & mask)
+            column_totals += self._analog_cycle(voltages) << bit
+
+        # Peripheral shift-and-add over the cell positions of each
+        # weight (most significant cell first).
+        out = np.zeros(self.weights_per_row, dtype=np.int64)
+        for w in range(self.weights_per_row):
+            acc = np.int64(0)
+            for cell in range(self.cells_per_weight):
+                shift = self.bits_per_cell * (self.cells_per_weight - 1 - cell)
+                acc += column_totals[w * self.cells_per_weight + cell] << shift
+            out[w] = acc
+        return out

@@ -1,0 +1,57 @@
+"""In-ReRAM analog compute device (IMP / ISAAC-style crossbars).
+
+ReRAM cells have linear I-V characteristics: driving a sub-threshold
+read voltage through a cell produces a bitline current proportional to
+the product of cell conductance and input voltage, and currents from
+all activated rows sum on the shared bitline (Kirchhoff) -- a native
+multi-operand analog MAC.  Inputs are streamed bit-parallel through
+DACs, partial results are shifted-and-added at the periphery, and LUTs
+provide non-native operations (paper III-B1).
+
+The evaluated accelerator is a 336 MB chip (scaled down from IMP) of
+86,016 crossbars, each 128x128 with 2-bit cells, clocked at 20 MHz.
+A 16-bit MAC streams 16/2 = 8 input bit-slices, i.e. 8 cycles/op
+regardless of how many rows are being accumulated (up to the 128-row
+crossbar height), which is the flat 2.5 MOPS in Table III and the
+reason ReRAM wins when jobs expose many-operand accumulations
+(Fig. 10).
+
+ReRAM cell *writes* are slow and energy-hungry and endurance-limited,
+so loading stationary data into the crossbars carries a write-cost
+multiplier; reuse across a batch amortises it.
+"""
+
+from __future__ import annotations
+
+from .base import ArrayGeometry, MemoryKind, MemorySpec
+
+__all__ = ["RERAM_SPEC", "reram_mac_cycles"]
+
+
+def reram_mac_cycles(bits: int, bits_per_cell: int = 2) -> int:
+    """Cycles for one analog MAC: one per input bit-slice."""
+    if bits <= 0 or bits_per_cell <= 0:
+        raise ValueError("bits and bits_per_cell must be positive")
+    return max(1, bits // bits_per_cell)
+
+
+RERAM_SPEC = MemorySpec(
+    kind=MemoryKind.RERAM,
+    name="in-ReRAM (IMP)",
+    geometry=ArrayGeometry(rows=128, cols=128, bits_per_cell=2),
+    num_arrays=86016,
+    alus_per_array=16,
+    clock_mhz=20.0,
+    mac_cycles_2op=reram_mac_cycles(16),  # 8
+    multi_operand_alpha=0.0,
+    max_operands=128,
+    pack_limit=16,
+    energy_per_mac_pj=20.0,
+    energy_per_bitop_pj=2.0,
+    fill_bandwidth_gbps=38.4,  # off-chip link to the accelerator
+    copy_bandwidth_gbps=128.0,  # replication: row writes across many crossbars
+    write_cost_factor=1.5,  # cell programming overhead on the fill path
+    max_outstanding_jobs=8,
+    mb_per_mm2=2.5,
+    fill_energy_pj_per_byte=20.0,  # NVM cell programming is expensive
+)

@@ -1,0 +1,57 @@
+"""In-SRAM bit-serial compute device (Neural Cache / Duality Cache).
+
+The last-level cache of a dual-socket server is re-purposed for
+bit-serial computing: operands are bit-transposed so each 16-bit value
+occupies 16 wordlines of one bitline, and every bitline peripheral is a
+1-bit ALU.  Multi-row activation yields NOR/AND on BL/BLB which the
+reconfigurable sense amplifier combines into a full adder (paper
+Fig. 2); an n-bit add takes n cycles and an n-bit multiply
+``n^2 + 3n - 2`` cycles (302 cycles at n=16, matching Table III).
+
+The paper reserves *half* of the LLC for compute (the other half stays
+a normal cache, per Duality Cache), giving 5,120 compute arrays of
+256x256 cells at 2.5 GHz -- 1.31 M bit-serial ALUs.
+"""
+
+from __future__ import annotations
+
+from .base import ArrayGeometry, MemoryKind, MemorySpec
+
+__all__ = ["SRAM_SPEC", "bit_serial_add_cycles", "bit_serial_mul_cycles"]
+
+
+def bit_serial_add_cycles(bits: int) -> int:
+    """Cycles for a bit-serial add of two ``bits``-wide operands."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return bits
+
+
+def bit_serial_mul_cycles(bits: int) -> int:
+    """Cycles for a bit-serial multiply: ``n^2 + 3n - 2`` (paper II-B1)."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return bits * bits + 3 * bits - 2
+
+
+#: Table III configuration: 256x256 arrays, 5,120 of them (half of an
+#: 80 MB dual-socket LLC), 256 ALUs/array, 2.5 GHz, 302-cycle MAC.
+SRAM_SPEC = MemorySpec(
+    kind=MemoryKind.SRAM,
+    name="in-SRAM (Duality Cache)",
+    geometry=ArrayGeometry(rows=256, cols=256, bits_per_cell=1),
+    num_arrays=5120,
+    alus_per_array=256,
+    clock_mhz=2500.0,
+    mac_cycles_2op=bit_serial_mul_cycles(16),  # 302
+    multi_operand_alpha=2.0,
+    max_operands=8,
+    pack_limit=256,
+    energy_per_mac_pj=100.0,
+    energy_per_bitop_pj=0.5,
+    fill_bandwidth_gbps=76.8,  # fills stream from DDR4-2400 x4 channels
+    copy_bandwidth_gbps=1024.0,  # replication rides the cache interconnect
+    write_cost_factor=1.0,
+    max_outstanding_jobs=8,
+    mb_per_mm2=0.6,
+)

@@ -1,0 +1,121 @@
+"""Functional Ambit triple-row-activation model (paper II-B2).
+
+Ambit computes in DRAM by activating three wordlines at once: charge
+sharing settles every bitline to the **majority** of the three cells,
+which is written back into all three rows.  With one row preset as a
+control ``C``, ``MAJ(a, b, 0) = a AND b`` and ``MAJ(a, b, 1) = a OR
+b``; a dual-contact cell provides NOT, and AND + NOT = NAND completes
+a functionally-universal set.
+
+:class:`AmbitBank` implements exactly that contract: the only compute
+primitive is :meth:`tra` (destructive majority) plus RowClone copies
+and dual-contact NOT -- every higher-level operation is *derived*, and
+the derivations are what the tests validate.  Command-cycle accounting
+matches :mod:`repro.isa.timing`'s 4-cycle TRA estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AmbitBank"]
+
+#: Command-bus cycles per primitive (ACT/ACT/PRE spacing).
+TRA_CYCLES = 4
+ROWCLONE_CYCLES = 2
+NOT_CYCLES = 4
+
+
+@dataclass
+class AmbitBank:
+    """A DRAM subarray with TRA-capable designated compute rows."""
+
+    columns: int
+    rows: int = 16
+    cycles: int = 0
+    _data: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 4:
+            raise ValueError("bank needs >= 4 rows and >= 1 column")
+
+    # -- row management -------------------------------------------------
+    def write_row(self, name: str, bits) -> None:
+        """Host write via the I/O bus (not a compute primitive)."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.columns,):
+            raise ValueError(f"expected {self.columns} column bits")
+        if name not in self._data and len(self._data) >= self.rows:
+            raise ValueError("bank rows exhausted")
+        self._data[name] = bits.copy()
+
+    def set_control(self, name: str, value: bool) -> None:
+        """Preset a control row to all-0 (AND) or all-1 (OR)."""
+        self.write_row(name, np.full(self.columns, value, dtype=bool))
+
+    def read_row(self, name: str) -> np.ndarray:
+        return self._data[name].copy()
+
+    # -- the three physical primitives ----------------------------------
+    def rowclone(self, dst: str, src: str) -> None:
+        """In-DRAM bulk copy (activate src, activate dst)."""
+        if src not in self._data:
+            raise KeyError(src)
+        if dst not in self._data and len(self._data) >= self.rows:
+            raise ValueError("bank rows exhausted")
+        self._data[dst] = self._data[src].copy()
+        self.cycles += ROWCLONE_CYCLES
+
+    def tra(self, a: str, b: str, c: str) -> None:
+        """Triple-row activation: all three rows become MAJ(a, b, c).
+
+        Destructive, exactly like the hardware -- operands must be
+        RowCloned into scratch rows first if their values are needed
+        again (Ambit's B-group choreography).
+        """
+        va, vb, vc = self._data[a], self._data[b], self._data[c]
+        majority = (
+            va.astype(np.int8) + vb.astype(np.int8) + vc.astype(np.int8)
+        ) >= 2
+        self._data[a] = majority.copy()
+        self._data[b] = majority.copy()
+        self._data[c] = majority.copy()
+        self.cycles += TRA_CYCLES
+
+    def not_row(self, dst: str, src: str) -> None:
+        """Dual-contact-cell NOT into ``dst``."""
+        if dst not in self._data and len(self._data) >= self.rows:
+            raise ValueError("bank rows exhausted")
+        self._data[dst] = ~self._data[src]
+        self.cycles += NOT_CYCLES
+
+    # -- derived logic (the paper's argument for completeness) ----------
+    def and_rows(self, dst: str, a: str, b: str) -> None:
+        """dst = a AND b via MAJ(a, b, 0) on scratch copies."""
+        self.rowclone("_t0", a)
+        self.rowclone("_t1", b)
+        self.set_control("_ctl", False)
+        self.tra("_t0", "_t1", "_ctl")
+        self.rowclone(dst, "_t0")
+
+    def or_rows(self, dst: str, a: str, b: str) -> None:
+        """dst = a OR b via MAJ(a, b, 1) on scratch copies."""
+        self.rowclone("_t0", a)
+        self.rowclone("_t1", b)
+        self.set_control("_ctl", True)
+        self.tra("_t0", "_t1", "_ctl")
+        self.rowclone(dst, "_t0")
+
+    def nand_rows(self, dst: str, a: str, b: str) -> None:
+        """dst = a NAND b -- the universal operator (AND then NOT)."""
+        self.and_rows("_t2", a, b)
+        self.not_row(dst, "_t2")
+
+    def xor_rows(self, dst: str, a: str, b: str) -> None:
+        """dst = a XOR b composed purely from NAND (universality demo)."""
+        self.nand_rows("_x0", a, b)
+        self.nand_rows("_x1", a, "_x0")
+        self.nand_rows("_x2", b, "_x0")
+        self.nand_rows(dst, "_x1", "_x2")

@@ -1,0 +1,16 @@
+"""From-scratch regressors and metrics for the performance predictor."""
+
+from .forest import GradientBoostedTrees, RegressionTree
+from .metrics import r2_score, relative_rmse, rmse
+from .mlp import MLPRegressor
+from .scaling import StandardScaler
+
+__all__ = [
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "MLPRegressor",
+    "StandardScaler",
+    "r2_score",
+    "relative_rmse",
+    "rmse",
+]

@@ -1,0 +1,57 @@
+"""Regression metrics used to evaluate the performance predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "rmse", "relative_rmse"]
+
+
+def _as_1d(values) -> np.ndarray:
+    array = np.asarray(values, dtype=float).ravel()
+    if array.size == 0:
+        raise ValueError("empty input")
+    return array
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Matches the convention the paper quotes (median R^2 of 0.998 for
+    the scale-free fit, 0.995 for the cycle predictor): 1 minus the
+    ratio of residual to total sum of squares.  A constant target with
+    perfect predictions scores 1.0; a constant target with errors
+    scores -inf-like (we return 0.0 for the degenerate perfect case
+    and -inf otherwise is avoided by returning 0.0/1.0 explicitly).
+    """
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def relative_rmse(y_true, y_pred) -> float:
+    """RMSE as a fraction of the mean target.
+
+    The paper reports "RMSE of 22% of the mean cycles" -- this is that
+    quantity.
+    """
+    y_true = _as_1d(y_true)
+    mean = float(np.mean(y_true))
+    if mean == 0.0:
+        raise ValueError("mean of targets is zero; relative RMSE undefined")
+    return rmse(y_true, y_pred) / abs(mean)

@@ -1,0 +1,156 @@
+"""NumPy multi-layer perceptron regressor.
+
+The paper's performance predictor uses MLP regressors with "two hidden
+layers with 16 and 8 nodes" (III-E), trained per mother graph, then
+deployed with negligible inference cost.  This is a from-scratch
+implementation: ReLU hidden layers, linear output, squared loss, Adam
+optimiser, mini-batch training with a deterministic seed.  Inputs and
+targets are standardised internally so callers pass raw features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .scaling import StandardScaler
+
+__all__ = ["MLPRegressor"]
+
+
+@dataclass
+class MLPRegressor:
+    """Small fully-connected regressor.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths; the paper's predictor uses ``(16, 8)``.
+    epochs, batch_size, learning_rate:
+        Adam training hyper-parameters.
+    l2:
+        Weight decay.
+    seed:
+        Seed for init and batch shuffling; training is deterministic.
+    """
+
+    hidden: tuple[int, ...] = (16, 8)
+    epochs: int = 300
+    batch_size: int = 32
+    learning_rate: float = 1e-2
+    l2: float = 1e-5
+    seed: int = 0
+    _weights: list[np.ndarray] = field(default_factory=list, repr=False)
+    _biases: list[np.ndarray] = field(default_factory=list, repr=False)
+    _x_scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
+    _y_scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
+    loss_history_: list[float] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = (n_features, *self.hidden, 1)
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)  # He init for ReLU
+            self._weights.append(rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        out = X
+        last = len(self._weights) - 1
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ W + b
+            if i != last:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return out, activations
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "MLPRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 samples")
+
+        Xs = self._x_scaler.fit_transform(X)
+        ys = self._y_scaler.fit_transform(y)
+
+        rng = np.random.default_rng(self.seed)
+        self._init_params(X.shape[1], rng)
+        n = Xs.shape[0]
+        batch = min(self.batch_size, n)
+
+        # Adam state
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, yb = Xs[idx], ys[idx]
+                pred, acts = self._forward(xb)
+                err = pred - yb
+                epoch_loss += float(np.sum(err**2))
+
+                # Backprop
+                grad = 2.0 * err / len(idx)
+                grads_w: list[np.ndarray] = [None] * len(self._weights)  # type: ignore
+                grads_b: list[np.ndarray] = [None] * len(self._biases)  # type: ignore
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    a_in = acts[layer]
+                    grads_w[layer] = a_in.T @ grad + self.l2 * self._weights[layer]
+                    grads_b[layer] = grad.sum(axis=0)
+                    if layer > 0:
+                        grad = grad @ self._weights[layer].T
+                        grad = grad * (acts[layer] > 0.0)
+
+                # Adam update
+                step += 1
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    m_w_hat = m_w[layer] / (1 - beta1**step)
+                    v_w_hat = v_w[layer] / (1 - beta2**step)
+                    m_b_hat = m_b[layer] / (1 - beta1**step)
+                    v_b_hat = v_b[layer] / (1 - beta2**step)
+                    self._weights[layer] -= (
+                        self.learning_rate * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                    )
+                    self._biases[layer] -= (
+                        self.learning_rate * m_b_hat / (np.sqrt(v_b_hat) + eps)
+                    )
+            self.loss_history_.append(epoch_loss / n)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        Xs = self._x_scaler.transform(X)
+        pred, _ = self._forward(Xs)
+        out = self._y_scaler.inverse_transform(pred).ravel()
+        return out[0] if single else out
+
+    @property
+    def n_parameters(self) -> int:
+        """Trainable parameter count (the paper's storage-cost point)."""
+        return int(
+            sum(W.size for W in self._weights) + sum(b.size for b in self._biases)
+        )

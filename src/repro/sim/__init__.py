@@ -1,0 +1,22 @@
+"""Event-driven simulation substrate: engine, main memory, energy, traces."""
+
+from .energy import EnergyCategory, EnergyLedger
+from .engine import SimulationError, Simulator
+from .events import Event, EventHandle
+from .mainmem import DDR4Config, SharedBandwidthPipe, Transfer
+from .trace import ExecutionTrace, Phase, TraceRecord
+
+__all__ = [
+    "EnergyCategory",
+    "EnergyLedger",
+    "SimulationError",
+    "Simulator",
+    "Event",
+    "EventHandle",
+    "DDR4Config",
+    "SharedBandwidthPipe",
+    "Transfer",
+    "ExecutionTrace",
+    "Phase",
+    "TraceRecord",
+]

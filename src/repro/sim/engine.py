@@ -1,0 +1,104 @@
+"""A small deterministic discrete-event simulation engine.
+
+The paper evaluates MLIMP with "an event-driven simulator with timing
+models from IMP for in-ReRAM computing and Duality Cache for in-SRAM
+computing" (Section IV).  This engine is the equivalent core: a
+time-ordered event queue with deterministic tie-breaking, on top of
+which the dispatcher (:mod:`repro.core.dispatcher`) models device
+occupancy, job queues and shared-bandwidth transfers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from .events import Event, EventHandle
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic event loop.
+
+    Events scheduled for the same timestamp fire in scheduling order.
+    Callbacks may schedule further events; :meth:`run` drains the
+    queue (optionally up to a horizon).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[Event] = []
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback, *args)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the queue empties or the horizon passes.
+
+        Returns the final simulation time.  ``max_events`` is a
+        runaway guard for tests.
+        """
+        while self._queue:
+            if max_events is not None and self._processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._queue, event)
+                self._now = until
+                return self._now
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False

@@ -1,0 +1,41 @@
+"""Event primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is (time, seq): ties break in scheduling order so the
+    simulation is deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle allowing an event to be cancelled."""
+
+    _event: Event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled

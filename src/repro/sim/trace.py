@@ -1,0 +1,131 @@
+"""Execution traces: what ran where, when.
+
+The dispatcher records one :class:`TraceRecord` per job phase (fill,
+replication, compute).  From the trace we derive the quantities the
+paper's evaluation reports: makespan, per-device busy time and
+utilisation, and *scheduling bubbles* (device-idle gaps while work was
+still waiting), which Section III-C5 identifies as the adaptive
+scheduler's weakness that global scheduling removes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Phase", "TraceRecord", "ExecutionTrace"]
+
+
+class Phase(enum.Enum):
+    FILL = "fill"
+    REPLICATE = "replicate"
+    COMPUTE = "compute"
+    DRAIN = "drain"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One contiguous activity of one job on one device."""
+
+    job_id: str
+    device: str
+    phase: Phase
+    start: float
+    end: float
+    arrays: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("trace record ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Append-only trace with derived schedule metrics."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def add(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def record(
+        self,
+        job_id: str,
+        device: str,
+        phase: Phase,
+        start: float,
+        end: float,
+        arrays: int = 0,
+    ) -> None:
+        self.add(TraceRecord(job_id, device, phase, start, end, arrays))
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records)
+
+    def devices(self) -> list[str]:
+        return sorted({r.device for r in self.records})
+
+    def job_ids(self) -> list[str]:
+        return sorted({r.job_id for r in self.records})
+
+    def busy_time(self, device: str) -> float:
+        """Union length of the device's active intervals."""
+        intervals = sorted(
+            (r.start, r.end) for r in self.records if r.device == device
+        )
+        busy = 0.0
+        cursor = None
+        for start, end in intervals:
+            if cursor is None or start > cursor:
+                busy += end - start
+                cursor = end
+            elif end > cursor:
+                busy += end - cursor
+                cursor = end
+        return busy
+
+    def utilisation(self, device: str) -> float:
+        span = self.makespan
+        if span == 0:
+            return 0.0
+        return self.busy_time(device) / span
+
+    def job_span(self, job_id: str) -> tuple[float, float]:
+        records = [r for r in self.records if r.job_id == job_id]
+        if not records:
+            raise KeyError(f"no trace records for job {job_id!r}")
+        return min(r.start for r in records), max(r.end for r in records)
+
+    def job_latency(self, job_id: str) -> float:
+        start, end = self.job_span(job_id)
+        return end - start
+
+    def bubble_time(self, device: str) -> float:
+        """Idle time on ``device`` between its first and last activity."""
+        intervals = sorted(
+            (r.start, r.end) for r in self.records if r.device == device
+        )
+        if not intervals:
+            return 0.0
+        first = intervals[0][0]
+        last = max(end for _, end in intervals)
+        return (last - first) - self.busy_time(device)
+
+    def phase_time(self, phase: Phase) -> float:
+        """Total (possibly overlapping) time spent in ``phase``."""
+        return sum(r.duration for r in self.records if r.phase is phase)
+
+    def per_device_phase_breakdown(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        for r in self.records:
+            out[r.device][r.phase.value] += r.duration
+        return {device: dict(phases) for device, phases in out.items()}

@@ -1,0 +1,124 @@
+"""Data-parallel applications (Table II) and multiprogramming combos."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, COMBOS, app, app_names, combo_jobs, make_app_jobs
+from repro.core import Dispatcher, MLIMPSystem, OraclePredictor, AdaptiveScheduler
+from repro.core.perfmodel import ProfileEstimate, knee_allocation
+from repro.memories import DEFAULT_SPECS, MemoryKind
+
+
+def preferred_memory(name: str) -> MemoryKind:
+    job = make_app_jobs(app(name), DEFAULT_SPECS)[0]
+    times = {}
+    for kind, spec in DEFAULT_SPECS.items():
+        profile = job.profile(kind)
+        knee = knee_allocation(
+            ProfileEstimate(profile), max(profile.unit_arrays, spec.num_arrays // 4)
+        )
+        times[kind] = profile.total_time(knee)
+    return min(times, key=times.get)  # type: ignore[arg-type]
+
+
+class TestLibrary:
+    def test_table2_app_set(self):
+        assert set(app_names()) == {
+            "blackscholes", "fluidanimate", "streamcluster_a", "streamcluster_b",
+            "backprop", "kmeans", "crypto", "db_bitmap", "db_scan", "bitap",
+        }
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            app("doom")
+
+    def test_kernels_build_and_validate(self):
+        for spec in APPLICATIONS.values():
+            dfg = spec.kernel()
+            dfg.validate()
+            assert len(dfg.operation_nodes()) > 0
+
+    def test_job_generation(self):
+        jobs = make_app_jobs(app("kmeans"), DEFAULT_SPECS, prefix="x/")
+        assert len(jobs) == APPLICATIONS["kmeans"].num_jobs
+        assert jobs[0].job_id.startswith("x/kmeans/")
+        assert set(jobs[0].profiles) == set(MemoryKind)
+
+    def test_streamcluster_two_input_sizes(self):
+        a, b = APPLICATIONS["streamcluster_a"], APPLICATIONS["streamcluster_b"]
+        assert b.total_elements > 4 * a.total_elements
+
+    def test_invalid_app_spec(self):
+        from repro.apps import AppSpec
+
+        with pytest.raises(ValueError):
+            AppSpec("x", "d", APPLICATIONS["kmeans"].kernel, 0, 1, 1)
+        with pytest.raises(ValueError):
+            AppSpec("x", "d", APPLICATIONS["kmeans"].kernel, 1, 1, 1, reuse_iterations=0)
+
+
+class TestPreferences:
+    """Figure 17's device-preference spread."""
+
+    def test_transcendental_heavy_prefers_sram(self):
+        assert preferred_memory("blackscholes") is MemoryKind.SRAM
+
+    def test_bulk_bitwise_prefers_dram(self):
+        assert preferred_memory("db_bitmap") is MemoryKind.DRAM
+        assert preferred_memory("bitap") is MemoryKind.DRAM
+        assert preferred_memory("crypto") is MemoryKind.DRAM
+
+    def test_dot_product_prefers_reram(self):
+        assert preferred_memory("streamcluster_b") is MemoryKind.RERAM
+        assert preferred_memory("backprop") is MemoryKind.RERAM
+
+    def test_all_three_memories_preferred_by_someone(self):
+        prefs = {preferred_memory(name) for name in app_names()}
+        assert prefs == set(MemoryKind)
+
+    def test_large_working_sets_iterate_on_small_memories(self):
+        job = make_app_jobs(app("db_scan"), DEFAULT_SPECS)[0]
+        # The multi-GB table does not fit the 40 MB cache in one pass.
+        assert job.profile(MemoryKind.SRAM).n_iter > 1
+        assert job.profile(MemoryKind.DRAM).n_iter == 1
+
+
+class TestCombos:
+    def test_table2_combo_columns(self):
+        assert set(COMBOS) == set("ABCDEFG")
+        for members in COMBOS.values():
+            assert len(members) == 4
+
+    def test_combo_jobs_counts(self):
+        jobs = combo_jobs("A", DEFAULT_SPECS)
+        expected = sum(APPLICATIONS[m].num_jobs for m in COMBOS["A"])
+        assert len(jobs) == expected
+
+    def test_unknown_combo(self):
+        with pytest.raises(KeyError):
+            combo_jobs("Z", DEFAULT_SPECS)
+
+    def test_combo_schedules_end_to_end(self):
+        system = MLIMPSystem(specs=DEFAULT_SPECS)
+        jobs = combo_jobs("G", DEFAULT_SPECS)
+        result = Dispatcher(system).run(
+            AdaptiveScheduler(OraclePredictor()).plan(jobs, system)
+        )
+        assert len(result.records) == len(jobs)
+
+    def test_mlimp_beats_single_layers(self):
+        """Figure 18's claim on one combo."""
+        predictor = OraclePredictor()
+        times = {}
+        for kinds in ([MemoryKind.SRAM], [MemoryKind.DRAM], list(MemoryKind)):
+            specs = {k: DEFAULT_SPECS[k] for k in kinds}
+            system = MLIMPSystem(specs=specs)
+            jobs = combo_jobs("D", specs)
+            from repro.core import GlobalScheduler
+
+            result = Dispatcher(system).run(
+                GlobalScheduler(predictor).plan(jobs, system)
+            )
+            times[tuple(kinds)] = result.makespan
+        all_kinds = tuple(MemoryKind)
+        assert times[all_kinds] < times[(MemoryKind.SRAM,)]
+        assert times[all_kinds] < times[(MemoryKind.DRAM,)]

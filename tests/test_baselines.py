@@ -1,0 +1,84 @@
+"""CPU/GPU roofline baselines."""
+
+import pytest
+
+from repro.baselines import TITAN_XP, XEON_E5_2697V3, kernel_flops, kernel_traffic_bytes
+from repro.gnn import barabasi_albert
+from repro.kernels import make_gemm_job, make_spmm_job, make_vadd_job
+from repro.memories import DEFAULT_SPECS
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    adjacency = barabasi_albert(300, 8, seed=4)
+    return {
+        "spmm": make_spmm_job("s", adjacency, 256, DEFAULT_SPECS),
+        "gemm": make_gemm_job("g", 300, 128, 256, DEFAULT_SPECS),
+        "vadd": make_vadd_job("v", 300 * 256, DEFAULT_SPECS, vector_width=256),
+    }
+
+
+class TestWorkModels:
+    def test_flops(self, jobs):
+        assert kernel_flops(jobs["gemm"]) == 2 * 300 * 128 * 256
+        assert kernel_flops(jobs["spmm"]) == 2 * jobs["spmm"].tags["macs"]
+        assert kernel_flops(jobs["vadd"]) == 300 * 256
+
+    def test_traffic_positive(self, jobs):
+        for job in jobs.values():
+            assert kernel_traffic_bytes(job) > 0
+
+    def test_spmm_traffic_gathers_feature_rows(self, jobs):
+        nnz = jobs["spmm"].tags["nnz"]
+        assert kernel_traffic_bytes(jobs["spmm"]) >= nnz * 256 * 2
+
+    def test_untagged_job_rejected(self, jobs):
+        from repro.core import Job
+
+        bare = Job(
+            job_id="x", kernel="odd",
+            profiles=jobs["gemm"].profiles,
+        )
+        with pytest.raises(ValueError):
+            kernel_flops(bare)
+        with pytest.raises(ValueError):
+            kernel_traffic_bytes(bare)
+
+
+class TestDevices:
+    def test_gpu_outruns_cpu_on_kernels(self, jobs):
+        for job in jobs.values():
+            assert TITAN_XP.kernel_time(job) < XEON_E5_2697V3.kernel_time(job)
+
+    def test_cpu_has_no_transfer(self, jobs):
+        assert XEON_E5_2697V3.transfer_time(jobs["spmm"]) == 0.0
+
+    def test_gpu_transfer_respects_residency(self, jobs):
+        # Resident GEMM inputs/weights mean no fresh PCIe bytes.
+        from repro.kernels import make_gemm_job
+
+        resident = make_gemm_job(
+            "gr", 300, 128, 256, DEFAULT_SPECS,
+            resident_inputs=True, resident_weights=True,
+        )
+        assert TITAN_XP.transfer_time(resident) == 0.0
+        assert TITAN_XP.transfer_time(jobs["gemm"]) > 0.0
+
+    def test_batch_time_bounded_by_components(self, jobs):
+        batch = list(jobs.values())
+        compute = sum(TITAN_XP.kernel_time(j) for j in batch)
+        transfer = sum(TITAN_XP.transfer_time(j) for j in batch)
+        total = TITAN_XP.batch_time(batch)
+        assert total >= max(compute, transfer)
+        assert total <= compute + transfer
+
+    def test_batch_energy_positive_and_scales(self, jobs):
+        batch = list(jobs.values())
+        assert TITAN_XP.batch_energy_j(batch) > 0
+        assert TITAN_XP.batch_energy_j(batch * 2) > TITAN_XP.batch_energy_j(batch)
+
+    def test_transfer_bound_gnn_batches(self, jobs):
+        """The paper's Fig. 12 regime: GNN batches on the GPU move
+        significant PCIe traffic relative to kernel time."""
+        spmm = jobs["spmm"]
+        assert TITAN_XP.transfer_time(spmm) > 0.2 * TITAN_XP.kernel_time(spmm)

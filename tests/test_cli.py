@@ -1,0 +1,32 @@
+"""CLI entry point (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "ablation-knee" in out
+
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "5120 arrays" in out and "86016 arrays" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "MLIMP configurations" in out
+        assert "302" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

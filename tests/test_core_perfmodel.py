@@ -1,0 +1,193 @@
+"""Scale-free estimates, knee allocation, beta fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JobPerfProfile,
+    ScaleFreeEstimate,
+    allocation_grid,
+    estimate_from_profile,
+    fit_beta,
+    knee_allocation,
+    min_time_allocation,
+)
+
+
+def estimate(**overrides) -> ScaleFreeEstimate:
+    params = dict(
+        unit_arrays=8,
+        t_load=1e-6,
+        t_replica_unit=5e-8,
+        t_compute_unit=1e-4,
+        beta=0.92,
+    )
+    params.update(overrides)
+    return ScaleFreeEstimate(**params)
+
+
+class TestEstimate:
+    def test_eq3_power_law(self):
+        est = estimate()
+        assert est.compute_time(8) == pytest.approx(1e-4)
+        assert est.compute_time(16) == pytest.approx(1e-4 * 0.5**0.92)
+
+    def test_eq2_replication_cost(self):
+        est = estimate()
+        assert est.load_time(8) == pytest.approx(1e-6)
+        assert est.load_time(16) == pytest.approx(1e-6 + 5e-8)
+
+    def test_eq1_total(self):
+        est = estimate(n_iter=2)
+        assert est.total_time(8) == pytest.approx(2 * (1e-6 + 1e-4))
+
+    def test_max_useful_clamps(self):
+        est = estimate(max_useful_arrays=16)
+        assert est.compute_time(64) == est.compute_time(16)
+
+    def test_below_unit_rejected(self):
+        with pytest.raises(ValueError):
+            estimate().total_time(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate(beta=0.0)
+        with pytest.raises(ValueError):
+            estimate(beta=1.5)
+        with pytest.raises(ValueError):
+            estimate(unit_arrays=0)
+
+    def test_snap_to_replica(self):
+        est = estimate()
+        assert est.snap_to_replica(8) == 8
+        assert est.snap_to_replica(15) == 8
+        assert est.snap_to_replica(16) == 16
+        assert est.snap_to_replica(7) == 8  # floor at the unit
+
+    def test_snap_respects_max_useful(self):
+        est = estimate(max_useful_arrays=24)
+        assert est.snap_to_replica(64) == 24
+
+    def test_invert_total_time(self):
+        est = estimate()
+        target = est.total_time(32)
+        found = est.invert_total_time(target, 512)
+        assert found <= 32
+        assert est.total_time(found) <= target * 1.0001
+
+    def test_invert_unreachable_returns_cap(self):
+        est = estimate()
+        assert est.invert_total_time(1e-12, 64) == 64
+
+    def test_invert_trivial_target(self):
+        est = estimate()
+        assert est.invert_total_time(1.0, 64) == 8
+
+    def test_invert_compute_time(self):
+        est = estimate()
+        arrays = est.invert_compute_time(est.t_compute_unit / 2)
+        assert est.compute_time(arrays) <= est.t_compute_unit / 2 * 1.01
+
+
+class TestEstimateFromProfile:
+    def make_profile(self) -> JobPerfProfile:
+        return JobPerfProfile(
+            unit_arrays=8,
+            t_load=1e-6,
+            t_replica_unit=5e-8,
+            t_compute_unit=1e-4,
+            waves_unit=64,
+        )
+
+    def test_oracle_reads_true_unit_time(self):
+        est = estimate_from_profile(self.make_profile())
+        assert est.t_compute_unit == 1e-4
+        assert est.max_useful_arrays == 8 * 64
+
+    def test_predicted_time_overrides(self):
+        est = estimate_from_profile(self.make_profile(), t_compute_unit=5e-4)
+        assert est.t_compute_unit == 5e-4
+
+    def test_estimate_tracks_truth_within_tolerance(self):
+        """The smooth Eq. 3 model approximates the discrete truth well
+        at replica multiples (this is why the paper's fit has high R^2)."""
+        profile = self.make_profile()
+        est = estimate_from_profile(profile)
+        for replicas in (1, 2, 4, 8, 16):
+            arrays = replicas * profile.unit_arrays
+            truth = profile.compute_time(arrays)
+            model = est.compute_time(arrays)
+            assert model == pytest.approx(truth, rel=0.25)
+
+
+class TestKnee:
+    def test_grid_contains_only_replica_multiples(self):
+        est = estimate()
+        grid = allocation_grid(est, 100)
+        assert all(g % est.unit_arrays == 0 for g in grid)
+        assert grid[0] == est.unit_arrays
+
+    def test_grid_single_point(self):
+        est = estimate()
+        assert list(allocation_grid(est, 8)) == [8]
+        assert list(allocation_grid(est, 15)) == [8]
+
+    def test_grid_validates_cap(self):
+        with pytest.raises(ValueError):
+            allocation_grid(estimate(), 4)
+
+    def test_knee_below_min_time(self):
+        """III-C3: the knee avoids the over-provisioning of the strict
+        minimiser."""
+        est = estimate(t_replica_unit=1e-9)  # nearly-free replication
+        knee = knee_allocation(est, 4096)
+        best = min_time_allocation(est, 4096)
+        assert knee <= best
+
+    def test_knee_never_worse_than_unit(self):
+        est = estimate(t_replica_unit=1e-3)  # replication dominates
+        knee = knee_allocation(est, 4096)
+        assert est.total_time(knee) <= est.total_time(est.unit_arrays) * 1.0001
+
+    def test_knee_is_replica_multiple(self):
+        est = estimate()
+        assert knee_allocation(est, 1000) % est.unit_arrays == 0
+
+    def test_flat_curve_stays_at_unit(self):
+        est = estimate(t_compute_unit=0.0)
+        assert knee_allocation(est, 1000) == est.unit_arrays
+
+
+class TestFitBeta:
+    def test_recovers_exact_power_law(self):
+        m = np.asarray([1, 2, 4, 8, 16], dtype=float)
+        t = 3.0 * m**-0.9
+        beta, r2 = fit_beta(m, t)
+        assert beta == pytest.approx(0.9, abs=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_fit_on_discrete_truth_is_tight(self):
+        """The paper reports a median R^2 of 0.998 fitting the scale
+        free model to measured SpMM scaling; our discrete ground truth
+        fits comparably."""
+        profile = JobPerfProfile(
+            unit_arrays=8,
+            t_load=0.0,
+            t_replica_unit=0.0,
+            t_compute_unit=1e-4,
+            waves_unit=160,
+        )
+        replicas = np.asarray([1, 2, 3, 4, 6, 8, 12, 16])
+        arrays = replicas * 8
+        times = [profile.compute_time(int(a)) for a in arrays]
+        beta, r2 = fit_beta(arrays, times)
+        assert r2 > 0.99
+        assert 0.8 < beta <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_beta([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_beta([1, 2], [1.0, -1.0])
+        with pytest.raises(ValueError):
+            fit_beta([1, 2], [1.0])

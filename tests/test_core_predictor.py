@@ -1,0 +1,236 @@
+"""Performance predictors: oracle, noisy, two-stage MLP, naive metric."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MLPPredictor,
+    NaiveThresholdClassifier,
+    NoisyPredictor,
+    OraclePredictor,
+    naive_metric,
+)
+from repro.gnn import NeighborSampler, extract_metadata, generate
+from repro.kernels import make_gemm_job, make_spmm_job
+from repro.memories import DEFAULT_SPECS, MemoryKind
+from repro.ml import r2_score, relative_rmse
+
+
+@pytest.fixture(scope="module")
+def spmm_jobs():
+    """A density-diverse SpMM job population.
+
+    The paper's full 3-hop subgraphs of ogbl-citation2 span orders of
+    magnitude in density; fanout-capped sampling on the scaled analog
+    compresses that spread, so we restore it by mixing fanout levels.
+    """
+    graph = generate("collab")
+    rng = np.random.default_rng(1)
+    jobs = []
+    i = 0
+    for fanout in ((5, 4, 3), (15, 10, 5), (40, 30, 20), None):
+        sampler = NeighborSampler(
+            graph, hops=3, fanout=fanout, max_nodes=600, seed=7
+        )
+        for query in rng.choice(graph.num_nodes, size=24, replace=False):
+            sub = sampler.sample(int(query))
+            md = extract_metadata(sub, 128)
+            jobs.append(
+                make_spmm_job(f"s{i}", sub.graph, 128, DEFAULT_SPECS, metadata=md)
+            )
+            i += 1
+    rng.shuffle(jobs)
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def trained(spmm_jobs):
+    predictor = MLPPredictor(epochs=200, seed=0)
+    predictor.train(spmm_jobs[:64])
+    return predictor
+
+
+class TestOracle:
+    def test_oracle_matches_truth(self, spmm_jobs):
+        oracle = OraclePredictor()
+        job = spmm_jobs[0]
+        est = oracle.estimate(job, MemoryKind.SRAM)
+        assert est.t_compute_unit == job.profile(MemoryKind.SRAM).t_compute_unit
+        assert est.unit_arrays == job.profile(MemoryKind.SRAM).unit_arrays
+
+    def test_oracle_estimate_equals_ground_truth_curve(self, spmm_jobs):
+        """The oracle's planning curve IS the discrete truth (paper:
+        "returns the accurate cycle counts")."""
+        job = spmm_jobs[0]
+        profile = job.profile(MemoryKind.SRAM)
+        est = OraclePredictor().estimate(job, MemoryKind.SRAM)
+        for replicas in (1, 2, 4):
+            arrays = replicas * profile.unit_arrays
+            assert est.total_time(arrays) == profile.total_time(arrays)
+
+
+class TestNoisy:
+    def test_zero_sigma_is_transparent(self, spmm_jobs):
+        noisy = NoisyPredictor(OraclePredictor(), sigma=0.0)
+        job = spmm_jobs[0]
+        assert (
+            noisy.estimate(job, MemoryKind.SRAM).t_compute_unit
+            == OraclePredictor().estimate(job, MemoryKind.SRAM).t_compute_unit
+        )
+
+    def test_noise_is_deterministic_per_job(self, spmm_jobs):
+        noisy = NoisyPredictor(OraclePredictor(), sigma=0.5, seed=3)
+        job = spmm_jobs[0]
+        a = noisy.estimate(job, MemoryKind.SRAM).t_compute_unit
+        b = noisy.estimate(job, MemoryKind.SRAM).t_compute_unit
+        assert a == b
+
+    def test_noise_differs_across_jobs_and_kinds(self, spmm_jobs):
+        noisy = NoisyPredictor(OraclePredictor(), sigma=0.5, seed=3)
+        job = spmm_jobs[0]
+        truth = OraclePredictor()
+
+        def factor(j, k):
+            return noisy.estimate(j, k).t_compute_unit / truth.estimate(j, k).t_compute_unit
+
+        assert factor(spmm_jobs[0], MemoryKind.SRAM) != factor(
+            spmm_jobs[1], MemoryKind.SRAM
+        )
+        assert factor(job, MemoryKind.SRAM) != factor(job, MemoryKind.RERAM)
+
+    def test_noise_magnitude_tracks_sigma(self, spmm_jobs):
+        truth = OraclePredictor()
+        for sigma in (0.1, 0.5):
+            noisy = NoisyPredictor(truth, sigma=sigma, seed=0)
+            logs = [
+                np.log(
+                    noisy.estimate(j, MemoryKind.SRAM).t_compute_unit
+                    / truth.estimate(j, MemoryKind.SRAM).t_compute_unit
+                )
+                for j in spmm_jobs
+            ]
+            assert np.std(logs) == pytest.approx(sigma, rel=0.35)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyPredictor(OraclePredictor(), sigma=-0.1)
+
+
+class TestMLPPredictor:
+    def test_accuracy_on_held_out_jobs(self, trained, spmm_jobs):
+        """Paper III-E: R^2 ~ 0.995, RMSE ~ 22% of mean cycles."""
+        test = spmm_jobs[64:]
+        truth = [j.profile(MemoryKind.SRAM).t_compute_unit for j in test]
+        pred = [trained.predict_unit_compute(j, MemoryKind.SRAM) for j in test]
+        assert r2_score(truth, pred) > 0.9
+        assert relative_rmse(truth, pred) < 0.5
+
+    def test_hw_stage_predicts(self, trained, spmm_jobs):
+        test = spmm_jobs[64:]
+        truth = [j.tags["h_w"][MemoryKind.RERAM] for j in test]
+        pred = [trained.predict_hw(j, MemoryKind.RERAM) for j in test]
+        assert r2_score(truth, pred) > 0.8
+
+    def test_estimate_uses_prediction_for_spmm(self, trained, spmm_jobs):
+        job = spmm_jobs[70]
+        est = trained.estimate(job, MemoryKind.SRAM)
+        assert est.t_compute_unit == pytest.approx(
+            trained.predict_unit_compute(job, MemoryKind.SRAM)
+        )
+
+    def test_deterministic_kernels_fall_back_to_oracle(self, trained):
+        gemm = make_gemm_job("g", 64, 128, 256, DEFAULT_SPECS)
+        est = trained.estimate(gemm, MemoryKind.SRAM)
+        assert est.t_compute_unit == gemm.profile(MemoryKind.SRAM).t_compute_unit
+
+    def test_untrained_falls_back_to_oracle(self, spmm_jobs):
+        predictor = MLPPredictor()
+        job = spmm_jobs[0]
+        est = predictor.estimate(job, MemoryKind.SRAM)
+        assert est.t_compute_unit == job.profile(MemoryKind.SRAM).t_compute_unit
+
+    def test_training_requires_enough_jobs(self, spmm_jobs):
+        with pytest.raises(ValueError):
+            MLPPredictor().train(spmm_jobs[:4])
+
+    def test_jobs_without_tags_rejected(self, trained):
+        gemm = make_gemm_job("g", 8, 8, 8, DEFAULT_SPECS)
+        with pytest.raises(ValueError):
+            trained.predict_unit_compute(gemm, MemoryKind.SRAM)
+
+
+@pytest.fixture(scope="module")
+def density_spread_jobs():
+    """Jobs spanning the full density range of Figure 10.
+
+    Within one sparse mother graph the nnz/H_w metric stays on the
+    SRAM side of the crossover (which is why the paper finds ogbl-ddi
+    poor on SRAM but ogbl-collab fine there); the Figure 10 spread
+    comes from subgraphs covering orders of magnitude in density, so
+    the population here is drawn from mother graphs of varying
+    attachment density.
+    """
+    from repro.gnn import barabasi_albert
+
+    jobs = []
+    for m in (2, 8, 30, 80, 150):
+        graph = barabasi_albert(400, m, seed=m)
+        sampler = NeighborSampler(graph, hops=2, fanout=(20, 10), seed=m)
+        for i, query in enumerate((3, 77, 200, 333)):
+            sub = sampler.sample(query)
+            md = extract_metadata(sub, 128)
+            jobs.append(
+                make_spmm_job(
+                    f"d{m}-{i}", sub.graph, 128, DEFAULT_SPECS, metadata=md
+                )
+            )
+    return jobs
+
+
+class TestNaiveMetric:
+    def test_metric_is_nnz_over_hw(self, spmm_jobs):
+        job = spmm_jobs[0]
+        expected = job.tags["nnz"] / job.tags["h_w"][MemoryKind.RERAM]
+        assert naive_metric(job) == pytest.approx(expected)
+
+    @staticmethod
+    def _metrics_and_ratios(jobs):
+        metrics = np.asarray([naive_metric(j) for j in jobs])
+        ratios = np.asarray(
+            [
+                j.profile(MemoryKind.SRAM).t_compute_unit
+                / max(j.profile(MemoryKind.RERAM).t_compute_unit, 1e-30)
+                for j in jobs
+            ]
+        )
+        return metrics, ratios
+
+    def test_metric_correlates_with_preference(self, density_spread_jobs):
+        """Figure 10: larger nnz/H_w favours ReRAM."""
+        metrics, ratios = self._metrics_and_ratios(density_spread_jobs)
+        correlation = np.corrcoef(metrics, np.log(ratios))[0, 1]
+        assert correlation > 0.5
+
+    def test_both_preferences_present(self, density_spread_jobs):
+        _, ratios = self._metrics_and_ratios(density_spread_jobs)
+        assert (ratios > 1).any()  # some jobs prefer ReRAM
+        assert (ratios < 1).any()  # some prefer SRAM
+
+    def test_threshold_classifier_beats_chance(self, density_spread_jobs):
+        metrics, ratios = self._metrics_and_ratios(density_spread_jobs)
+        labels = ratios > 1.0
+        clf = NaiveThresholdClassifier().fit(metrics, labels)
+        majority = max(labels.mean(), 1 - labels.mean())
+        assert clf.accuracy(metrics, labels) >= majority
+
+    def test_misclassified_borderline_jobs_exist(self, density_spread_jobs):
+        """The paper's point: the naive metric roughly classifies but
+        leaves borderline jobs wrong -- motivating the MLP."""
+        metrics, ratios = self._metrics_and_ratios(density_spread_jobs)
+        labels = ratios > 1.0
+        clf = NaiveThresholdClassifier().fit(metrics, labels)
+        assert clf.accuracy(metrics, labels) < 1.0
+
+    def test_classifier_validation(self):
+        with pytest.raises(ValueError):
+            NaiveThresholdClassifier().fit([], [])

@@ -1,0 +1,126 @@
+"""CSR graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import CSRGraph
+
+
+def triangle() -> CSRGraph:
+    return CSRGraph.from_edges(3, np.asarray([[0, 1], [1, 2], [0, 2]]), name="tri")
+
+
+class TestConstruction:
+    def test_from_edges_symmetrises(self):
+        g = triangle()
+        assert g.num_edges == 6  # each undirected edge stored twice
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_from_edges_directed(self):
+        g = CSRGraph.from_edges(3, np.asarray([[0, 1]]), symmetric=False)
+        assert g.num_edges == 1
+        assert list(g.neighbors(1)) == []
+
+    def test_self_loops_and_duplicates_removed(self):
+        g = CSRGraph.from_edges(
+            3, np.asarray([[0, 0], [0, 1], [0, 1], [1, 0]]), symmetric=False
+        )
+        assert g.num_edges == 2  # 0->1 and 1->0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, np.empty((0, 2)))
+        assert g.num_edges == 0
+        assert g.avg_degree() == 0.0
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.asarray([0, 2]), indices=np.asarray([1]), num_nodes=1)
+
+    def test_validation_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.asarray([0, 1]), indices=np.asarray([5]), num_nodes=1)
+
+    def test_degrees(self):
+        g = triangle()
+        assert list(g.degrees()) == [2, 2, 2]
+        assert g.degree(0) == 2
+        assert g.avg_degree() == pytest.approx(2.0)
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            triangle().neighbors(7)
+
+
+class TestSubgraph:
+    def test_induced_subgraph_renumbers(self):
+        g = CSRGraph.from_edges(
+            5, np.asarray([[0, 1], [1, 2], [2, 3], [3, 4], [0, 4]])
+        )
+        sub = g.induced_subgraph(np.asarray([1, 2, 3]))
+        assert sub.num_nodes == 3
+        # Edges 1-2 and 2-3 survive; 0 and 4 are cut away.
+        assert sub.num_edges == 4
+        assert list(sub.neighbors(1)) == [0, 2]
+
+    def test_subgraph_of_disconnected_nodes(self):
+        g = triangle()
+        sub = g.induced_subgraph(np.asarray([0]))
+        assert sub.num_nodes == 1
+        assert sub.num_edges == 0
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            triangle().induced_subgraph(np.asarray([0, 0]))
+
+    def test_full_subgraph_is_identity(self):
+        g = triangle()
+        sub = g.induced_subgraph(np.arange(3))
+        assert sub.num_edges == g.num_edges
+        assert np.array_equal(sub.indptr, g.indptr)
+        assert np.array_equal(sub.indices, g.indices)
+
+
+class TestNormalisation:
+    def test_normalized_adjacency_row_values(self):
+        g = triangle()
+        values = g.normalized_adjacency_values()
+        # Every vertex has degree 2: each value is 1/2.
+        assert np.allclose(values, 0.5)
+
+    def test_isolated_vertices_contribute_zero(self):
+        g = CSRGraph.from_edges(3, np.asarray([[0, 1]]))
+        values = g.normalized_adjacency_values()
+        assert len(values) == g.num_edges
+        assert np.all(np.isfinite(values))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    edges=st.lists(
+        st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=100
+    ),
+    data=st.data(),
+)
+def test_subgraph_edges_are_subset_property(n, edges, data):
+    """Induced subgraphs never invent edges and preserve all edges
+    internal to the node set."""
+    edges = [(a % n, b % n) for a, b in edges]
+    g = CSRGraph.from_edges(n, np.asarray(edges).reshape(-1, 2))
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    nodes = data.draw(
+        st.permutations(list(range(n))).map(lambda p: np.asarray(p[:k]))
+    )
+    sub = g.induced_subgraph(nodes)
+    node_set = set(int(x) for x in nodes)
+    expected = sum(
+        1
+        for u in node_set
+        for v in g.neighbors(u)
+        if int(v) in node_set
+    )
+    assert sub.num_edges == expected
+    assert sub.num_nodes == k

@@ -1,0 +1,93 @@
+"""SIMD DFG construction and validation."""
+
+import pytest
+
+from repro.isa import DFG, DFGError, Op
+
+
+def axpy() -> DFG:
+    d = DFG("axpy")
+    a = d.const("a")
+    x = d.input("x")
+    y = d.input("y")
+    m = d.node("m", Op.MUL, a, x)
+    s = d.node("s", Op.ADD, m, y)
+    d.output(s)
+    return d
+
+
+class TestBuilder:
+    def test_builds_and_validates(self):
+        d = axpy()
+        d.validate()
+        assert len(d) == 5
+        assert d.outputs == ("s",)
+        assert set(d.inputs) == {"a", "x", "y"}
+
+    def test_duplicate_node_rejected(self):
+        d = DFG("k")
+        d.input("x")
+        with pytest.raises(DFGError):
+            d.input("x")
+
+    def test_unknown_input_rejected(self):
+        d = DFG("k")
+        with pytest.raises(DFGError):
+            d.node("n", Op.ADD, "missing")
+
+    def test_unknown_output_rejected(self):
+        d = DFG("k")
+        with pytest.raises(DFGError):
+            d.output("missing")
+
+    def test_no_outputs_fails_validation(self):
+        d = DFG("k")
+        d.input("x")
+        with pytest.raises(DFGError):
+            d.validate()
+
+    def test_zero_width_rejected(self):
+        d = DFG("k")
+        with pytest.raises(DFGError):
+            d.input("x", bits=0)
+
+    def test_output_idempotent(self):
+        d = axpy()
+        d.output("s")
+        assert d.outputs == ("s",)
+
+
+class TestAnalysis:
+    def test_topological_order_respects_deps(self):
+        d = axpy()
+        order = [n.name for n in d.topological()]
+        assert order.index("m") > order.index("a")
+        assert order.index("m") > order.index("x")
+        assert order.index("s") > order.index("m")
+
+    def test_cycle_detection(self):
+        from repro.isa.dfg import DFGNode
+
+        d = DFG("cyclic")
+        d._nodes["a"] = DFGNode("a", Op.ADD, ("b",))
+        d._nodes["b"] = DFGNode("b", Op.ADD, ("a",))
+        with pytest.raises(DFGError):
+            list(d.topological())
+
+    def test_op_histogram(self):
+        d = axpy()
+        hist = d.op_histogram()
+        assert hist[Op.MUL] == 1
+        assert hist[Op.ADD] == 1
+
+    def test_depth(self):
+        d = axpy()
+        assert d.depth() == 2
+        flat = DFG("flat")
+        flat.input("x")
+        assert flat.depth() == 0
+
+    def test_operation_nodes_exclude_inputs(self):
+        d = axpy()
+        names = {n.name for n in d.operation_nodes()}
+        assert names == {"m", "s"}

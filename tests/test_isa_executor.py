@@ -1,0 +1,175 @@
+"""Functional DFG execution: reference semantics for every kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import APPLICATIONS
+from repro.isa import DFG, FixedPointFormat, Op, execute_dfg
+
+
+def lanes(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestBasicOps:
+    def run_binary(self, op, a, b, **kwargs):
+        d = DFG("k")
+        d.input("a")
+        d.input("b")
+        d.node("out", op, "a", "b")
+        d.output("out")
+        return execute_dfg(d, {"a": lanes(*a), "b": lanes(*b)}, **kwargs)["out"]
+
+    def test_add_wraps(self):
+        out = self.run_binary(Op.ADD, [1, 0xFFFF], [2, 1])
+        assert list(out) == [3, 0]
+
+    def test_sub_wraps(self):
+        out = self.run_binary(Op.SUB, [5, 0], [3, 1])
+        assert list(out) == [2, 0xFFFF]
+
+    def test_mul_div(self):
+        assert list(self.run_binary(Op.MUL, [7, 300], [6, 300])) == [
+            42,
+            (300 * 300) & 0xFFFF,
+        ]
+        assert list(self.run_binary(Op.DIV, [42, 7], [6, 0])) == [7, 7]  # div0 -> /1
+
+    def test_cmp_and_select(self):
+        d = DFG("sel")
+        d.input("x")
+        d.input("y")
+        c = d.node("c", Op.CMP, "x", "y")
+        d.node("out", Op.SELECT, c, "x")
+        d.output("out")
+        out = execute_dfg(d, {"x": lanes(5, 1), "y": lanes(3, 4)})["out"]
+        assert list(out) == [5, 0]  # kept where x >= y, zeroed otherwise
+
+    def test_bitwise_and_shifts(self):
+        assert list(self.run_binary(Op.XOR, [0b1100], [0b1010])) == [0b0110]
+        assert list(self.run_binary(Op.SHL, [1], [4])) == [16]
+        assert list(self.run_binary(Op.SHR, [16], [4])) == [1]
+        rot = self.run_binary(Op.ROTL, [0x8001], [1])
+        assert list(rot) == [0x0003]
+
+    def test_mac_chain_semantics(self):
+        d = DFG("dot")
+        d.input("x")
+        d.input("w")
+        acc = d.node("m0", Op.MAC, "x", "w")
+        acc = d.node("m1", Op.MAC, acc, "w")
+        d.output(acc)
+        out = execute_dfg(d, {"x": lanes(3), "w": lanes(5)})[acc]
+        assert list(out) == [3 * 5 * 5]
+
+    def test_reduce_add(self):
+        d = DFG("r")
+        d.input("x")
+        d.node("out", Op.REDUCE_ADD, "x")
+        d.output("out")
+        out = execute_dfg(d, {"x": lanes(1, 2, 3)})["out"]
+        assert list(out) == [6, 6, 6]
+
+    def test_missing_input_rejected(self):
+        d = DFG("k")
+        d.input("x")
+        d.node("out", Op.MOV, "x")
+        d.output("out")
+        with pytest.raises(ValueError):
+            execute_dfg(d, {})
+
+    def test_mismatched_lanes_rejected(self):
+        d = DFG("k")
+        d.input("a")
+        d.input("b")
+        d.node("out", Op.ADD, "a", "b")
+        d.output("out")
+        with pytest.raises(ValueError):
+            execute_dfg(d, {"a": lanes(1, 2), "b": lanes(1)})
+
+
+class TestFixedPoint:
+    def test_exp2_q88(self):
+        fmt = FixedPointFormat(16, 8)
+        d = DFG("e")
+        d.input("x")
+        d.node("out", Op.EXP2, "x")
+        d.output("out")
+        # exp2(3.0) = 8.0 -> 8 * 256 in Q8.8.
+        out = execute_dfg(d, {"x": lanes(3 * 256)}, fmt=fmt)["out"]
+        assert out[0] == 8 * 256
+
+    def test_sqrt_and_recip(self):
+        fmt = FixedPointFormat(16, 8)
+        d = DFG("s")
+        d.input("x")
+        s = d.node("s", Op.SQRT, "x")
+        d.node("out", Op.RECIP, s)
+        d.output("out")
+        # x = 4.0 -> sqrt 2.0 -> recip 0.5.
+        out = execute_dfg(d, {"x": lanes(4 * 256)}, fmt=fmt)["out"]
+        assert out[0] == pytest.approx(128, abs=2)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(16, 8)
+        d = DFG("e")
+        d.input("x")
+        d.node("out", Op.EXP2, "x")
+        d.output("out")
+        out = execute_dfg(d, {"x": lanes(50 * 256)}, fmt=fmt)["out"]
+        assert out[0] == fmt.mask  # saturates instead of wrapping
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 16)
+
+
+class TestApplicationKernels:
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_every_table2_kernel_executes(self, name):
+        """All Table II kernels run end-to-end on random lanes and
+        produce in-range outputs."""
+        dfg = APPLICATIONS[name].kernel()
+        rng = np.random.default_rng(7)
+        inputs = {
+            arg: rng.integers(1, 1 << 12, size=16) for arg in dfg.inputs
+        }
+        outputs = execute_dfg(dfg, inputs)
+        assert set(outputs) == set(dfg.outputs)
+        for values in outputs.values():
+            assert values.shape == (16,)
+            assert values.min() >= 0 and values.max() <= 0xFFFF
+
+    def test_db_scan_predicate_is_correct(self):
+        """Value-level check of one whole kernel: the DB full-scan
+        range predicate."""
+        dfg = APPLICATIONS["db_scan"].kernel()
+        values = lanes(10, 50, 100, 200)
+        out = execute_dfg(
+            dfg,
+            {"value": values, "lo": lanes(40, 40, 40, 40), "hi": lanes(150, 150, 150, 150)},
+        )[dfg.outputs[0]]
+        # In-range rows keep their value, others are zeroed.
+        assert list(out) == [0, 50, 100, 0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=0xFFFF),
+    b=st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_integer_ops_match_python_semantics(a, b):
+    d = DFG("mix")
+    d.input("a")
+    d.input("b")
+    d.node("s", Op.ADD, "a", "b")
+    d.node("m", Op.MUL, "a", "b")
+    d.node("x", Op.XOR, "a", "b")
+    for out in ("s", "m", "x"):
+        d.output(out)
+    outputs = execute_dfg(d, {"a": lanes(a), "b": lanes(b)})
+    assert outputs["s"][0] == (a + b) & 0xFFFF
+    assert outputs["m"][0] == (a * b) & 0xFFFF
+    assert outputs["x"][0] == a ^ b

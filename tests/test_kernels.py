@@ -1,0 +1,172 @@
+"""Kernel mappings: GEMM, SpMM, Vadd profiles per memory."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import CSRGraph, barabasi_albert
+from repro.kernels import (
+    gemm_profile,
+    make_gemm_job,
+    make_spmm_job,
+    make_vadd_job,
+    spmm_profile,
+    spmm_strip_width,
+    spmm_unit_arrays,
+    vadd_profile,
+)
+from repro.memories import DEFAULT_SPECS, DRAM_SPEC, RERAM_SPEC, SRAM_SPEC, MemoryKind
+
+
+@pytest.fixture(scope="module")
+def adjacency() -> CSRGraph:
+    return barabasi_albert(400, 6, seed=9)
+
+
+class TestStripGeometry:
+    def test_reram_strip_width_is_128(self):
+        """The ReRAM crossbar strip width is the paper's H_128 width."""
+        assert spmm_strip_width(RERAM_SPEC, 256) == 128
+
+    def test_sram_strip_width(self):
+        # 256x256 array = 4096 elements; half stationary; 256-wide rows.
+        assert spmm_strip_width(SRAM_SPEC, 256) == 8
+        assert spmm_strip_width(SRAM_SPEC, 128) == 16
+
+    def test_dram_strip_width_covers_whole_subgraphs(self):
+        assert spmm_strip_width(DRAM_SPEC, 256) >= 4096
+
+    def test_unit_arrays_includes_buffer_overhead(self):
+        arrays = spmm_unit_arrays(SRAM_SPEC, 80, 256)
+        assert arrays > 80 / 8  # strips alone
+
+    def test_unit_arrays_validation(self):
+        with pytest.raises(ValueError):
+            spmm_unit_arrays(SRAM_SPEC, 0, 256)
+
+
+class TestGEMM:
+    def test_profiles_for_all_memories(self):
+        job = make_gemm_job("g", 64, 128, 256, DEFAULT_SPECS)
+        assert set(job.profiles) == set(MemoryKind)
+        assert job.kernel == "gemm"
+        assert job.tags["flops"] == 2 * 64 * 128 * 256
+
+    def test_dram_gemm_much_slower_than_sram(self):
+        sram = gemm_profile(SRAM_SPEC, 64, 128, 256)
+        dram = gemm_profile(DRAM_SPEC, 64, 128, 256)
+        assert dram.t_compute_unit > 10 * sram.t_compute_unit
+
+    def test_reram_and_sram_comparable(self):
+        # Paper V-B1: similar SIMD width and MAC throughput.
+        sram = gemm_profile(SRAM_SPEC, 64, 128, 256)
+        reram = gemm_profile(RERAM_SPEC, 64, 128, 256)
+        ratio = reram.t_compute_unit / sram.t_compute_unit
+        assert 0.2 < ratio < 5.0
+
+    def test_residency_removes_fill(self):
+        full = gemm_profile(SRAM_SPEC, 64, 128, 256)
+        resident = gemm_profile(
+            SRAM_SPEC, 64, 128, 256, resident_inputs=True, resident_weights=True
+        )
+        assert resident.fill_bytes == 0
+        assert full.fill_bytes > 0
+        assert resident.t_load < full.t_load
+
+    def test_replication_scales_compute(self):
+        p = gemm_profile(SRAM_SPEC, 64, 128, 256)
+        assert p.compute_time(2 * p.unit_arrays) < p.compute_time(p.unit_arrays)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            gemm_profile(SRAM_SPEC, 0, 128, 256)
+
+    def test_energy_positive_and_reram_cheapest(self):
+        profiles = {k: gemm_profile(s, 64, 128, 256) for k, s in DEFAULT_SPECS.items()}
+        assert all(p.compute_energy_j > 0 for p in profiles.values())
+        assert (
+            profiles[MemoryKind.RERAM].compute_energy_j
+            < profiles[MemoryKind.SRAM].compute_energy_j
+        )
+
+
+class TestSpMM:
+    def test_job_tags_carry_predictor_statistics(self, adjacency):
+        job = make_spmm_job("s", adjacency, 256, DEFAULT_SPECS)
+        assert job.tags["nnz"] == adjacency.nnz
+        assert job.tags["strip_width"][MemoryKind.RERAM] == 128
+        assert job.tags["h_w"][MemoryKind.RERAM] > 0
+        # H_w never exceeds nnz and never exceeds rows x strips.
+        for kind in MemoryKind:
+            assert job.tags["h_w"][kind] <= adjacency.nnz
+
+    def test_dram_spmm_is_worst(self, adjacency):
+        """Paper V-B1: in-DRAM SpMM underperforms -- narrow feature
+        vectors cannot fill DRAM SIMD rows."""
+        job = make_spmm_job("s", adjacency, 256, DEFAULT_SPECS)
+        t = {
+            kind: job.profiles[kind].total_time(job.profiles[kind].unit_arrays)
+            for kind in MemoryKind
+        }
+        assert t[MemoryKind.DRAM] > 10 * t[MemoryKind.SRAM]
+        assert t[MemoryKind.DRAM] > 10 * t[MemoryKind.RERAM]
+
+    def test_reram_advantage_grows_with_density(self):
+        """Figure 10: ReRAM wins when the job size per allocation
+        (nnz / H_w) is large."""
+        sparse = barabasi_albert(400, 2, seed=1)
+        dense = barabasi_albert(400, 60, seed=1)
+
+        def ratio(adj):
+            sram = spmm_profile(SRAM_SPEC, adj, 256)
+            reram = spmm_profile(RERAM_SPEC, adj, 256)
+            return sram.t_compute_unit / reram.t_compute_unit
+
+        assert ratio(dense) > 2 * ratio(sparse)
+
+    def test_resident_b_removes_feature_fill(self, adjacency):
+        full = spmm_profile(SRAM_SPEC, adjacency, 256)
+        resident = spmm_profile(SRAM_SPEC, adjacency, 256, resident_b=True)
+        assert resident.fill_bytes < full.fill_bytes
+        assert resident.t_compute_unit == full.t_compute_unit
+
+    def test_compute_energy_scales_with_nnz(self):
+        small = barabasi_albert(200, 3, seed=2)
+        large = barabasi_albert(200, 12, seed=2)
+        assert (
+            spmm_profile(SRAM_SPEC, large, 256).compute_energy_j
+            > spmm_profile(SRAM_SPEC, small, 256).compute_energy_j
+        )
+
+    def test_waves_track_nonempty_rows(self, adjacency):
+        p = spmm_profile(SRAM_SPEC, adjacency, 256)
+        nonempty = int(np.count_nonzero(np.diff(adjacency.indptr)))
+        assert p.waves_unit == nonempty
+
+    def test_invalid_feature_dim(self, adjacency):
+        with pytest.raises(ValueError):
+            spmm_profile(SRAM_SPEC, adjacency, 0)
+
+
+class TestVadd:
+    def test_sram_fastest_for_vadd(self):
+        job = make_vadd_job("v", 65536, DEFAULT_SPECS, vector_width=256)
+        t = {
+            kind: job.profiles[kind].total_time(job.profiles[kind].unit_arrays)
+            for kind in MemoryKind
+        }
+        assert t[MemoryKind.SRAM] == min(t.values())
+
+    def test_resident_flag(self):
+        full = vadd_profile(SRAM_SPEC, 4096)
+        resident = vadd_profile(SRAM_SPEC, 4096, resident=True)
+        assert resident.fill_bytes == 0
+        assert full.fill_bytes == 2 * 4096 * 2
+
+    def test_elements_validation(self):
+        with pytest.raises(ValueError):
+            vadd_profile(SRAM_SPEC, 0)
+
+    def test_unit_arrays_grow_with_footprint(self):
+        small = vadd_profile(SRAM_SPEC, 1024)
+        large = vadd_profile(SRAM_SPEC, 1024 * 256)
+        assert large.unit_arrays > small.unit_arrays

@@ -1,0 +1,149 @@
+"""Scratchpad allocator: first-fit, coalescing, and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memories import (
+    AllocationError,
+    ArrayGeometry,
+    MemoryKind,
+    MemorySpec,
+    ScratchpadAllocator,
+)
+
+
+def make_spec(num_arrays: int = 64) -> MemorySpec:
+    return MemorySpec(
+        kind=MemoryKind.SRAM,
+        name="test",
+        geometry=ArrayGeometry(rows=16, cols=16),
+        num_arrays=num_arrays,
+        alus_per_array=16,
+        clock_mhz=1000.0,
+        mac_cycles_2op=10,
+        multi_operand_alpha=1.0,
+        max_operands=2,
+        pack_limit=4,
+        energy_per_mac_pj=1.0,
+        energy_per_bitop_pj=0.1,
+        fill_bandwidth_gbps=10.0,
+        copy_bandwidth_gbps=10.0,
+    )
+
+
+class TestAllocate:
+    def test_simple_allocate_free(self):
+        alloc = ScratchpadAllocator(make_spec())
+        a = alloc.allocate(10)
+        assert a.arrays == 10
+        assert alloc.free_arrays == 54
+        alloc.free(a)
+        assert alloc.free_arrays == 64
+
+    def test_allocation_exposes_bytes_and_alus(self):
+        alloc = ScratchpadAllocator(make_spec())
+        a = alloc.allocate(4)
+        assert a.bytes == 4 * (16 * 16 // 8)
+        assert a.alus == 4 * 16
+
+    def test_exhaustion_raises(self):
+        alloc = ScratchpadAllocator(make_spec(8))
+        alloc.allocate(8)
+        with pytest.raises(AllocationError):
+            alloc.allocate(1)
+
+    def test_zero_allocation_rejected(self):
+        alloc = ScratchpadAllocator(make_spec())
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+
+    def test_double_free_raises(self):
+        alloc = ScratchpadAllocator(make_spec())
+        a = alloc.allocate(2)
+        alloc.free(a)
+        with pytest.raises(AllocationError):
+            alloc.free(a)
+
+    def test_allocate_bytes_rounds_to_arrays(self):
+        spec = make_spec()
+        alloc = ScratchpadAllocator(spec)
+        a = alloc.allocate_bytes(spec.geometry.bytes * 3 + 1)
+        assert a.arrays == 4
+
+    def test_fragmentation_blocks_contiguous_requests(self):
+        alloc = ScratchpadAllocator(make_spec(10))
+        first = alloc.allocate(4)
+        middle = alloc.allocate(2)
+        alloc.allocate(4)
+        alloc.free(first)
+        alloc.free(middle)  # coalesces with the first run -> 6 free
+        assert alloc.largest_free_run == 6
+        assert alloc.allocate(6).arrays == 6
+
+    def test_coalescing_merges_all_neighbours(self):
+        alloc = ScratchpadAllocator(make_spec(12))
+        a = alloc.allocate(4)
+        b = alloc.allocate(4)
+        c = alloc.allocate(4)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)
+        assert alloc.largest_free_run == 12
+        assert alloc.free_arrays == 12
+
+    def test_reserved_fraction(self):
+        alloc = ScratchpadAllocator(make_spec(100), reserved_fraction=0.25)
+        assert alloc.total_arrays == 75
+        with pytest.raises(AllocationError):
+            alloc.allocate(76)
+
+    def test_invalid_reservation(self):
+        with pytest.raises(ValueError):
+            ScratchpadAllocator(make_spec(), reserved_fraction=1.0)
+
+    def test_reset_clears_everything(self):
+        alloc = ScratchpadAllocator(make_spec(16))
+        alloc.allocate(5)
+        alloc.allocate(5)
+        alloc.reset()
+        assert alloc.free_arrays == 16
+        assert alloc.live_allocations == 0
+
+    def test_utilisation(self):
+        alloc = ScratchpadAllocator(make_spec(10))
+        assert alloc.utilisation() == 0.0
+        alloc.allocate(5)
+        assert alloc.utilisation() == pytest.approx(0.5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=20)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=40,
+    )
+)
+def test_allocator_conservation_property(ops):
+    """Free + used always equals total; free never exceeds total."""
+    alloc = ScratchpadAllocator(make_spec(64))
+    live = []
+    for action, value in ops:
+        if action == "alloc":
+            try:
+                live.append(alloc.allocate(value))
+            except AllocationError:
+                assert alloc.largest_free_run < value
+        elif live:
+            allocation = live.pop(value % len(live))
+            alloc.free(allocation)
+        assert alloc.free_arrays + alloc.used_arrays == alloc.total_arrays
+        assert 0 <= alloc.free_arrays <= alloc.total_arrays
+        assert alloc.used_arrays == sum(a.arrays for a in live)
+    for allocation in live:
+        alloc.free(allocation)
+    assert alloc.free_arrays == alloc.total_arrays
+    assert alloc.largest_free_run == alloc.total_arrays

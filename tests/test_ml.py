@@ -1,0 +1,166 @@
+"""From-scratch regressors: MLP, gradient-boosted trees, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostedTrees,
+    MLPRegressor,
+    RegressionTree,
+    StandardScaler,
+    r2_score,
+    relative_rmse,
+    rmse,
+)
+
+
+def make_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 4, size=(n, 3))
+    y = 2 * X[:, 0] + X[:, 1] * X[:, 2] + rng.normal(0, 0.1, n)
+    return X, y
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert rmse(y, y) == 0.0
+        assert relative_rmse(y, y) == 0.0
+
+    def test_mean_prediction_r2_zero(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_rmse_value(self):
+        assert rmse([0.0, 0.0], [1.0, -1.0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r2_score([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            rmse([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            r2_score([], [])
+
+    def test_relative_rmse_zero_mean(self):
+        with pytest.raises(ValueError):
+            relative_rmse([1.0, -1.0], [0.0, 0.0])
+
+    def test_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestScaler:
+    def test_round_trip(self):
+        X = np.random.default_rng(0).normal(3.0, 2.0, size=(50, 4))
+        scaler = StandardScaler()
+        Z = scaler.fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+        assert np.allclose(scaler.inverse_transform(Z), X)
+
+    def test_constant_column_passthrough(self):
+        X = np.asarray([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 1], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValueError):
+            scaler.transform([[1.0]])
+
+
+class TestMLP:
+    def test_learns_nonlinear_function(self):
+        X, y = make_data()
+        model = MLPRegressor(epochs=200, seed=1).fit(X[:200], y[:200])
+        pred = model.predict(X[200:])
+        assert r2_score(y[200:], pred) > 0.95
+
+    def test_deterministic_given_seed(self):
+        X, y = make_data(100)
+        a = MLPRegressor(epochs=50, seed=3).fit(X, y).predict(X)
+        b = MLPRegressor(epochs=50, seed=3).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_loss_decreases(self):
+        X, y = make_data(100)
+        model = MLPRegressor(epochs=100, seed=0).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_paper_architecture_parameter_count(self):
+        # Two hidden layers of 16 and 8 nodes (paper III-E).
+        X, y = make_data(50)
+        model = MLPRegressor(hidden=(16, 8), epochs=5).fit(X, y)
+        expected = (3 * 16 + 16) + (16 * 8 + 8) + (8 * 1 + 1)
+        assert model.n_parameters == expected
+
+    def test_single_sample_prediction(self):
+        X, y = make_data(50)
+        model = MLPRegressor(epochs=20).fit(X, y)
+        single = model.predict(X[0])
+        assert np.isscalar(single) or np.ndim(single) == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict([[1.0, 2.0, 3.0]])
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestTrees:
+    def test_tree_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        pred = tree.predict(X)
+        assert r2_score(y, pred) > 0.99
+
+    def test_gbt_beats_single_tree(self):
+        X, y = make_data()
+        tree = RegressionTree(max_depth=3).fit(X[:200], y[:200])
+        gbt = GradientBoostedTrees(n_estimators=80, max_depth=3).fit(X[:200], y[:200])
+        assert rmse(y[200:], gbt.predict(X[200:])) < rmse(y[200:], tree.predict(X[200:]))
+
+    def test_gbt_storage_exceeds_mlp(self):
+        # The paper's cost argument: tree ensembles need far more
+        # parameter storage than the small MLP.
+        X, y = make_data(200)
+        gbt = GradientBoostedTrees(n_estimators=100, max_depth=3).fit(X, y)
+        mlp = MLPRegressor(epochs=10).fit(X, y)
+        assert gbt.n_parameters > 5 * mlp.n_parameters
+
+    def test_gbt_deterministic(self):
+        X, y = make_data(100)
+        a = GradientBoostedTrees(n_estimators=20, subsample=0.8, seed=5).fit(X, y)
+        b = GradientBoostedTrees(n_estimators=20, subsample=0.8, seed=5).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict([[1.0]])
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict([[1.0]])
+
+    def test_invalid_subsample(self):
+        X, y = make_data(50)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0).fit(X, y)
+
+    def test_single_prediction(self):
+        X, y = make_data(50)
+        gbt = GradientBoostedTrees(n_estimators=5).fit(X, y)
+        assert np.ndim(gbt.predict(X[0])) == 0

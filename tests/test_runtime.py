@@ -1,0 +1,113 @@
+"""MLIMPRuntime facade."""
+
+import pytest
+
+from repro.core import (
+    GlobalScheduler,
+    Job,
+    JobPerfProfile,
+    MLIMPRuntime,
+    MLIMPSystem,
+    OraclePredictor,
+)
+from repro.memories import ArrayGeometry, MemoryKind, MemorySpec
+
+
+def spec(kind: MemoryKind) -> MemorySpec:
+    return MemorySpec(
+        kind=kind,
+        name=f"rt-{kind.value}",
+        geometry=ArrayGeometry(32, 32),
+        num_arrays=32,
+        alus_per_array=32,
+        clock_mhz=1000.0,
+        mac_cycles_2op=10,
+        multi_operand_alpha=1.0,
+        max_operands=4,
+        pack_limit=2,
+        energy_per_mac_pj=1.0,
+        energy_per_bitop_pj=0.1,
+        fill_bandwidth_gbps=50.0,
+        copy_bandwidth_gbps=50.0,
+        max_outstanding_jobs=4,
+    )
+
+
+@pytest.fixture
+def system() -> MLIMPSystem:
+    return MLIMPSystem(
+        specs={MemoryKind.SRAM: spec(MemoryKind.SRAM), MemoryKind.RERAM: spec(MemoryKind.RERAM)}
+    )
+
+
+def job(i: int) -> Job:
+    profile = JobPerfProfile(
+        unit_arrays=4,
+        t_load=1e-7,
+        t_replica_unit=1e-8,
+        t_compute_unit=1e-5 * (1 + i % 3),
+        waves_unit=8,
+        fill_bytes=1e3,
+        compute_energy_j=1e-10,
+    )
+    return Job(
+        job_id=f"rt{i}",
+        kernel="app",
+        profiles={MemoryKind.SRAM: profile, MemoryKind.RERAM: profile},
+    )
+
+
+class TestRuntime:
+    def test_submit_run_clears_queue(self, system):
+        runtime = MLIMPRuntime(system)
+        runtime.submit_many(job(i) for i in range(6))
+        assert runtime.pending == 6
+        result = runtime.run()
+        assert runtime.pending == 0
+        assert len(result.records) == 6
+        assert runtime.history == [result]
+
+    def test_scheduler_selection_by_name(self, system):
+        for name in ("ljf", "adaptive", "global"):
+            runtime = MLIMPRuntime(system, scheduler=name)
+            runtime.submit(job(0))
+            result = runtime.run()
+            assert result.scheduler_name == name
+
+    def test_scheduler_instance_accepted(self, system):
+        runtime = MLIMPRuntime(
+            system, scheduler=GlobalScheduler(OraclePredictor(), intra_queue=False)
+        )
+        runtime.submit(job(0))
+        assert runtime.run().makespan > 0
+
+    def test_unknown_scheduler_rejected(self, system):
+        with pytest.raises(ValueError):
+            MLIMPRuntime(system, scheduler="magic")
+
+    def test_plan_preview_covers_queue(self, system):
+        runtime = MLIMPRuntime(system)
+        runtime.submit_many(job(i) for i in range(5))
+        preview = runtime.plan_preview()
+        assert set(preview) == {f"rt{i}" for i in range(5)}
+        for memory, arrays in preview.values():
+            assert memory in ("sram", "reram")
+            assert arrays >= 1
+        # Preview does not consume the queue.
+        assert runtime.pending == 5
+
+    def test_oracle_bound(self, system):
+        runtime = MLIMPRuntime(system)
+        assert runtime.oracle_bound() == 0.0
+        runtime.submit_many(job(i) for i in range(4))
+        bound = runtime.oracle_bound()
+        result = runtime.run()
+        assert bound <= result.makespan * 1.0001
+
+    def test_multiple_runs_accumulate_history(self, system):
+        runtime = MLIMPRuntime(system)
+        runtime.submit(job(0))
+        runtime.run()
+        runtime.submit(job(1))
+        runtime.run()
+        assert len(runtime.history) == 2

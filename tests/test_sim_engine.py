@@ -1,0 +1,113 @@
+"""Discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.after(2.0, log.append, "b")
+        sim.after(1.0, log.append, "a")
+        sim.after(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for label in "abc":
+            sim.after(1.0, log.append, label)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.after(1.0, chain, n + 1)
+
+        sim.after(0.0, chain, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.after(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        log = []
+        handle = sim.after(1.0, log.append, "cancelled")
+        sim.after(2.0, log.append, "kept")
+        handle.cancel()
+        assert not handle.active
+        sim.run()
+        assert log == ["kept"]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.after(1.0, log.append, "early")
+        sim.after(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.after(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step(self):
+        sim = Simulator()
+        log = []
+        sim.after(1.0, log.append, 1)
+        sim.after(2.0, log.append, 2)
+        assert sim.step()
+        assert log == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_pending_counts_active_only(self):
+        sim = Simulator()
+        h = sim.after(1.0, lambda: None)
+        sim.after(2.0, lambda: None)
+        assert sim.pending == 2
+        h.cancel()
+        assert sim.pending == 1
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_events_always_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.after(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

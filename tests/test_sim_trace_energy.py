@@ -1,0 +1,98 @@
+"""Execution traces and the energy ledger."""
+
+import pytest
+
+from repro.sim import EnergyCategory, EnergyLedger, ExecutionTrace, Phase, TraceRecord
+
+
+class TestTrace:
+    def make_trace(self):
+        trace = ExecutionTrace()
+        trace.record("j1", "sram", Phase.FILL, 0.0, 1.0, arrays=4)
+        trace.record("j1", "sram", Phase.COMPUTE, 1.0, 3.0, arrays=4)
+        trace.record("j2", "reram", Phase.COMPUTE, 0.5, 2.0, arrays=8)
+        trace.record("j3", "sram", Phase.COMPUTE, 4.0, 5.0, arrays=2)
+        return trace
+
+    def test_makespan(self):
+        assert self.make_trace().makespan == 5.0
+        assert ExecutionTrace().makespan == 0.0
+
+    def test_busy_time_merges_overlaps(self):
+        trace = ExecutionTrace()
+        trace.record("a", "d", Phase.COMPUTE, 0.0, 2.0)
+        trace.record("b", "d", Phase.COMPUTE, 1.0, 3.0)
+        trace.record("c", "d", Phase.COMPUTE, 5.0, 6.0)
+        assert trace.busy_time("d") == pytest.approx(4.0)
+
+    def test_bubble_time_is_internal_idle(self):
+        trace = self.make_trace()
+        # sram active [0,3] and [4,5]: bubble = 1.
+        assert trace.bubble_time("sram") == pytest.approx(1.0)
+        assert trace.bubble_time("reram") == pytest.approx(0.0)
+        assert trace.bubble_time("absent") == 0.0
+
+    def test_utilisation(self):
+        trace = self.make_trace()
+        assert trace.utilisation("sram") == pytest.approx(4.0 / 5.0)
+
+    def test_job_latency(self):
+        trace = self.make_trace()
+        assert trace.job_latency("j1") == pytest.approx(3.0)
+        with pytest.raises(KeyError):
+            trace.job_latency("nope")
+
+    def test_phase_time(self):
+        trace = self.make_trace()
+        assert trace.phase_time(Phase.FILL) == pytest.approx(1.0)
+        assert trace.phase_time(Phase.COMPUTE) == pytest.approx(4.5)
+
+    def test_devices_and_jobs(self):
+        trace = self.make_trace()
+        assert trace.devices() == ["reram", "sram"]
+        assert trace.job_ids() == ["j1", "j2", "j3"]
+
+    def test_breakdown(self):
+        breakdown = self.make_trace().per_device_phase_breakdown()
+        assert breakdown["sram"]["compute"] == pytest.approx(3.0)
+        assert breakdown["sram"]["fill"] == pytest.approx(1.0)
+
+    def test_invalid_record(self):
+        with pytest.raises(ValueError):
+            TraceRecord("j", "d", Phase.COMPUTE, 2.0, 1.0)
+
+
+class TestEnergyLedger:
+    def test_accumulation(self):
+        ledger = EnergyLedger()
+        ledger.add(EnergyCategory.COMPUTE, "sram", 1.0)
+        ledger.add(EnergyCategory.COMPUTE, "sram", 2.0)
+        ledger.add(EnergyCategory.OFFCHIP, "ddr4", 0.5)
+        assert ledger.total() == pytest.approx(3.5)
+        assert ledger.get(EnergyCategory.COMPUTE, "sram") == pytest.approx(3.0)
+        assert ledger.by_category()[EnergyCategory.OFFCHIP] == pytest.approx(0.5)
+        assert ledger.by_device()["sram"] == pytest.approx(3.0)
+
+    def test_negative_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.add(EnergyCategory.HOST, "cpu", -1.0)
+
+    def test_merge(self):
+        a = EnergyLedger()
+        a.add(EnergyCategory.COMPUTE, "sram", 1.0)
+        b = EnergyLedger()
+        b.add(EnergyCategory.COMPUTE, "sram", 2.0)
+        b.add(EnergyCategory.HOST, "cpu", 1.0)
+        merged = a.merge(b)
+        assert merged.get(EnergyCategory.COMPUTE, "sram") == pytest.approx(3.0)
+        assert merged.total() == pytest.approx(4.0)
+        # merge does not mutate its inputs
+        assert a.total() == pytest.approx(1.0)
+
+    def test_rows_sorted(self):
+        ledger = EnergyLedger()
+        ledger.add(EnergyCategory.OFFCHIP, "pcie", 1.0)
+        ledger.add(EnergyCategory.COMPUTE, "sram", 1.0)
+        rows = ledger.as_rows()
+        assert rows == sorted(rows)

@@ -1,0 +1,123 @@
+"""Wear-aware scheduling: the endurance extension acted on."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveScheduler,
+    Dispatcher,
+    Job,
+    JobPerfProfile,
+    MLIMPSystem,
+    OraclePredictor,
+)
+from repro.core.scheduler import WearAwareScheduler, restrict_worn_memories
+from repro.memories import ArrayGeometry, MemoryKind, MemorySpec
+from repro.memories.endurance import WearTracker
+
+
+def spec(kind: MemoryKind) -> MemorySpec:
+    return MemorySpec(
+        kind=kind,
+        name=f"w-{kind.value}",
+        geometry=ArrayGeometry(32, 32),
+        num_arrays=32,
+        alus_per_array=32,
+        clock_mhz=1000.0,
+        mac_cycles_2op=10,
+        multi_operand_alpha=1.0,
+        max_operands=4,
+        pack_limit=2,
+        energy_per_mac_pj=1.0,
+        energy_per_bitop_pj=0.1,
+        fill_bandwidth_gbps=50.0,
+        copy_bandwidth_gbps=50.0,
+        max_outstanding_jobs=4,
+    )
+
+
+@pytest.fixture
+def system() -> MLIMPSystem:
+    return MLIMPSystem(
+        specs={
+            MemoryKind.SRAM: spec(MemoryKind.SRAM),
+            MemoryKind.RERAM: spec(MemoryKind.RERAM),
+        }
+    )
+
+
+def reram_preferring_job(i: int, fill_bytes: float = 1e4) -> Job:
+    def profile(t_compute):
+        return JobPerfProfile(
+            unit_arrays=4,
+            t_load=1e-7,
+            t_replica_unit=1e-8,
+            t_compute_unit=t_compute,
+            waves_unit=8,
+            fill_bytes=fill_bytes,
+        )
+
+    return Job(
+        job_id=f"w{i}",
+        kernel="app",
+        profiles={
+            MemoryKind.SRAM: profile(2e-5),
+            MemoryKind.RERAM: profile(1e-5),  # ReRAM is 2x faster
+        },
+    )
+
+
+def fresh_tracker(system, kind, endurance=1e6) -> WearTracker:
+    return WearTracker(spec=system.specs[kind], endurance_writes=endurance)
+
+
+class TestRestriction:
+    def test_unworn_tracker_changes_nothing(self, system):
+        jobs = [reram_preferring_job(0)]
+        trackers = {MemoryKind.RERAM: fresh_tracker(system, MemoryKind.RERAM)}
+        out = restrict_worn_memories(jobs, trackers)
+        assert out[0] is jobs[0]  # untouched object
+
+    def test_worn_memory_filtered(self, system):
+        jobs = [reram_preferring_job(0)]
+        tracker = fresh_tracker(system, MemoryKind.RERAM)
+        tracker.record_bytes(tracker.total_cell_writes_budget)  # exhausted
+        out = restrict_worn_memories(jobs, {MemoryKind.RERAM: tracker})
+        assert MemoryKind.RERAM not in out[0].profiles
+        assert MemoryKind.SRAM in out[0].profiles
+
+    def test_job_with_no_alternative_keeps_least_worn(self, system):
+        job = Job(
+            job_id="only-reram",
+            kernel="app",
+            profiles={
+                MemoryKind.RERAM: reram_preferring_job(0).profiles[MemoryKind.RERAM]
+            },
+        )
+        tracker = fresh_tracker(system, MemoryKind.RERAM)
+        tracker.record_bytes(tracker.total_cell_writes_budget)
+        out = restrict_worn_memories([job], {MemoryKind.RERAM: tracker})
+        assert MemoryKind.RERAM in out[0].profiles  # still runnable
+
+
+class TestScheduler:
+    def test_jobs_divert_off_worn_reram(self, system):
+        jobs = [reram_preferring_job(i) for i in range(8)]
+        tracker = fresh_tracker(system, MemoryKind.RERAM)
+        scheduler = WearAwareScheduler(
+            inner=AdaptiveScheduler(OraclePredictor()),
+            trackers={MemoryKind.RERAM: tracker},
+        )
+        dispatcher = Dispatcher(system)
+
+        healthy = dispatcher.run(scheduler.plan(jobs, system))
+        assert any(r.kind is MemoryKind.RERAM for r in healthy.records.values())
+
+        tracker.record_bytes(tracker.total_cell_writes_budget)
+        worn = dispatcher.run(scheduler.plan(jobs, system))
+        assert all(r.kind is MemoryKind.SRAM for r in worn.records.values())
+
+    def test_name_reflects_inner(self, system):
+        scheduler = WearAwareScheduler(
+            inner=AdaptiveScheduler(OraclePredictor()), trackers={}
+        )
+        assert scheduler.name == "wear-aware(adaptive)"
