@@ -1,0 +1,70 @@
+"""Observability report sanity on a full multiprogramming run.
+
+Runs combo A (Table II) under each scheduler and asserts the derived
+report is internally consistent: utilisation is a fraction of the
+makespan, busy time plus bubbles fits inside the device's active span,
+the phase breakdown accounts for exactly the traced time, and the
+predictor-error summary covers every dispatched job.
+"""
+
+import pytest
+
+from repro.apps import combo_jobs
+from repro.core.runtime import MLIMPRuntime
+from repro.harness.config import full_system
+from repro.memories import DEFAULT_SPECS
+
+
+def run_combo(scheduler: str):
+    runtime = MLIMPRuntime(full_system(), scheduler=scheduler)
+    runtime.submit_many(combo_jobs("A", DEFAULT_SPECS))
+    return runtime.run()
+
+
+@pytest.mark.parametrize("scheduler", ["ljf", "adaptive", "global"])
+def test_report_consistency(run_report, scheduler):
+    result = run_report(run_combo, scheduler)
+    report = result.report()
+
+    assert report.n_jobs == len(result.records) == 56  # 4 apps x combo A
+    assert report.makespan == result.makespan > 0
+    assert report.mean_latency <= report.p99_latency <= report.makespan
+
+    total_phase_seconds = 0.0
+    for name, dev in report.devices.items():
+        # Utilisation is busy time over the run's makespan.
+        assert 0.0 < dev.utilisation <= 1.0
+        assert dev.utilisation == pytest.approx(dev.busy_time / report.makespan)
+        # Busy + bubbles fits the device's own active span.
+        span = dev.last_activity - dev.first_activity
+        assert dev.busy_time + dev.bubble_time <= span * (1 + 1e-9)
+        # Phases overlap on a device (concurrent jobs), so their sum is
+        # at least the merged busy time and each phase is positive.
+        assert sum(dev.phase_seconds.values()) >= dev.busy_time * (1 - 1e-9)
+        assert all(seconds >= 0 for seconds in dev.phase_seconds.values())
+        total_phase_seconds += sum(dev.phase_seconds.values())
+
+    # The phase breakdown accounts for exactly the traced time.
+    traced = sum(r.duration for r in result.trace.records)
+    assert total_phase_seconds == pytest.approx(traced)
+
+    # Every scheduler attaches a prediction to every dispatch, so the
+    # predictor-error summary covers the full job population.
+    assert report.predictor is not None
+    assert report.predictor["count"] == report.n_jobs
+    assert report.predictor["mean_abs_rel_error"] >= 0.0
+    assert (
+        report.predictor["p50_abs_rel_error"]
+        <= report.predictor["p90_abs_rel_error"]
+        <= report.predictor["max_abs_rel_error"]
+    )
+
+
+def test_schedulers_share_job_population(run_report):
+    """All three schedulers run the same jobs; their reports agree on
+    the per-device job counts' total."""
+    results = {s: run_combo(s) for s in ("ljf", "adaptive", "global")}
+    run_report(lambda: results["global"].report())
+    for result in results.values():
+        report = result.report()
+        assert sum(dev.jobs for dev in report.devices.values()) == 56

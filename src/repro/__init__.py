@@ -13,12 +13,13 @@ Subpackages
 ``repro.gnn``        graphs, OGB analogs, sampler, GCN job streams
 ``repro.apps``       Table II data-parallel applications and combos
 ``repro.core``       jobs, Eq. 1-3 model, predictors, schedulers, runtime
+``repro.obs``        metrics, decision log, trace analytics, exporters
 ``repro.ml``         from-scratch MLP and gradient-boosted trees
 ``repro.baselines``  Xeon / Titan XP roofline models
 ``repro.harness``    per-figure experiment runners and ablations
 """
 
-from . import apps, baselines, core, gnn, harness, isa, kernels, memories, ml, sim
+from . import apps, baselines, core, gnn, harness, isa, kernels, memories, ml, obs, sim
 from .core import (
     AdaptiveScheduler,
     Dispatcher,
@@ -46,6 +47,7 @@ __all__ = [
     "kernels",
     "memories",
     "ml",
+    "obs",
     "sim",
     "AdaptiveScheduler",
     "Dispatcher",

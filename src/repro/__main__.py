@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig13 fig14      # several
     python -m repro run all              # everything (minutes)
     python -m repro specs                # Table III device summary
+    python -m repro trace A              # observability report for combo A
+    python -m repro trace collab --scheduler adaptive --json out.json
 """
 
 from __future__ import annotations
@@ -63,6 +65,55 @@ def cmd_run(names: list[str]) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one workload and print its per-device dispatch report."""
+    from .apps import COMBOS, combo_jobs
+    from .core.runtime import MLIMPRuntime
+    from .gnn import DATASETS
+    from .obs import write_results_json, write_trace_csv
+
+    if args.target in COMBOS:
+        from .harness.config import full_system
+        from .memories import DEFAULT_SPECS
+
+        runtime = MLIMPRuntime(full_system(), scheduler=args.scheduler)
+        runtime.submit_many(combo_jobs(args.target, DEFAULT_SPECS))
+        results = [runtime.run(label=f"{args.scheduler}/{args.target}")]
+    elif args.target in DATASETS:
+        from .core.predictor import OraclePredictor
+        from .core.runtime import _SCHEDULERS
+        from .harness.gnn import build_workload, run_workload
+
+        if args.batches < 1:
+            print("--batches must be at least 1", file=sys.stderr)
+            return 2
+        workload = build_workload(args.target, num_batches=args.batches)
+        scheduler = _SCHEDULERS[args.scheduler](OraclePredictor())
+        summary = run_workload(workload, scheduler)
+        results = summary.results
+    else:
+        known = sorted(COMBOS) + sorted(DATASETS)
+        print(
+            f"unknown trace target {args.target!r}; "
+            f"choose a combo or dataset: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    for run_index, result in enumerate(results):
+        if len(results) > 1:
+            print(f"-- batch {run_index} --")
+        print(result.report())
+        print()
+    if args.json:
+        write_results_json(results, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_trace_csv(results, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -73,12 +124,35 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("specs", help="print the Table III device summary")
     run = sub.add_parser("run", help="run experiments by name (or 'all')")
     run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    trace = sub.add_parser(
+        "trace",
+        help="run one workload and print the observability report",
+    )
+    trace.add_argument(
+        "target", help="multiprogramming combo (A-G) or GNN dataset name"
+    )
+    trace.add_argument(
+        "--scheduler",
+        choices=["ljf", "adaptive", "global"],
+        default="global",
+        help="scheduler to trace (default: global)",
+    )
+    trace.add_argument(
+        "--batches",
+        type=int,
+        default=2,
+        help="query batches for dataset targets (default: 2)",
+    )
+    trace.add_argument("--json", metavar="PATH", help="write the full run JSON")
+    trace.add_argument("--csv", metavar="PATH", help="write the phase trace CSV")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "specs":
         return cmd_specs()
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_run(args.names)
 
 

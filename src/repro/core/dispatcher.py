@@ -17,10 +17,14 @@ with internal row moves and bypass the pipe.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..memories.allocator import Allocation, ScratchpadAllocator
 from ..memories.base import MemoryKind
+from ..obs.analytics import RunReport, build_report
+from ..obs.decisions import DecisionLog
+from ..obs.metrics import MetricsRegistry
 from ..sim.energy import EnergyCategory, EnergyLedger
 from ..sim.engine import Simulator
 from ..sim.mainmem import DDR4Config, SharedBandwidthPipe
@@ -54,13 +58,21 @@ class JobRecord:
 
 @dataclass
 class DispatchResult:
-    """Everything a run produced."""
+    """Everything a run produced.
+
+    ``metrics`` and ``decisions`` are filled by the dispatcher's
+    observability layer (``repro.obs``); :meth:`report` derives the
+    per-device utilisation / bubble / phase / predictor-error summary
+    the paper's timeline figures are built from.
+    """
 
     makespan: float
     trace: ExecutionTrace
     energy: EnergyLedger
     records: dict[str, JobRecord]
     scheduler_name: str = ""
+    metrics: MetricsRegistry | None = None
+    decisions: DecisionLog | None = None
 
     def jobs_on(self, kind: MemoryKind) -> list[JobRecord]:
         return [r for r in self.records.values() if r.kind is kind]
@@ -71,11 +83,24 @@ class DispatchResult:
         return sum(r.latency for r in self.records.values()) / len(self.records)
 
     def tail_latency(self, quantile: float = 0.99) -> float:
+        """Nearest-rank latency quantile: value at ``ceil(q*n) - 1``.
+
+        (``int(q * n)`` indexing is off by one against the nearest-rank
+        definition and returns the maximum for every quantile once
+        ``q * n`` reaches ``n - 1``.)
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
         if not self.records:
             return 0.0
         latencies = sorted(r.latency for r in self.records.values())
-        index = min(len(latencies) - 1, int(quantile * len(latencies)))
-        return latencies[index]
+        index = max(0, math.ceil(quantile * len(latencies)) - 1)
+        return latencies[min(index, len(latencies) - 1)]
+
+    def report(self) -> RunReport:
+        """Per-device utilisation, bubbles, phase breakdown and
+        predictor error (see :mod:`repro.obs.analytics`)."""
+        return build_report(self)
 
 
 @dataclass
@@ -117,6 +142,32 @@ class Dispatcher:
             for kind, spec in self.system.specs.items()
         }
 
+        # Observability: metric gauges track device occupancy and the
+        # shared-pipe load over time; the decision log pairs every
+        # dispatch's predicted time with its measured latency.
+        metrics = MetricsRegistry()
+        decisions = DecisionLog()
+        pending_gauge = metrics.gauge("jobs.pending")
+        pipe_gauge = metrics.gauge("ddr4.active_transfers")
+        pipe_gauge.set(0.0, 0)
+        pipe.on_occupancy = pipe_gauge.set
+        slot_gauges = {
+            kind: metrics.gauge(f"{kind.value}.slots_in_use") for kind in devices
+        }
+        array_gauges = {
+            kind: metrics.gauge(f"{kind.value}.arrays_in_use") for kind in devices
+        }
+        for kind in devices:
+            slot_gauges[kind].set(0.0, 0)
+            array_gauges[kind].set(0.0, 0)
+
+        def sample_queue_depths() -> None:
+            depths = policy.queue_depths()
+            if depths is None:
+                return
+            for queue_name, depth in depths.items():
+                metrics.gauge(f"queue_depth.{queue_name}").set(sim.now, depth)
+
         def view() -> ResourceView:
             return ResourceView(
                 now=sim.now,
@@ -143,6 +194,13 @@ class Dispatcher:
                     f"{job.job_id}: requested {dispatch.arrays} arrays on "
                     f"{kind} (device has {spec.num_arrays})"
                 )
+            slots = self.system.slots(kind)
+            if device.running >= slots:
+                raise DispatchError(
+                    f"{job.job_id}: {kind.value} already runs {device.running} "
+                    f"jobs (limit {slots}); the policy over-subscribed the "
+                    "device's job slots"
+                )
             allocation = device.allocator.allocate(dispatch.arrays)
             device.running += 1
             record = JobRecord(
@@ -154,6 +212,18 @@ class Dispatcher:
             if job.job_id in records:
                 raise DispatchError(f"job {job.job_id} dispatched twice")
             records[job.job_id] = record
+            metrics.counter("jobs.dispatched").inc()
+            metrics.counter(f"{kind.value}.jobs").inc()
+            slot_gauges[kind].set(sim.now, device.running)
+            array_gauges[kind].set(sim.now, device.allocator.used_arrays)
+            decisions.record(
+                job_id=job.job_id,
+                device=kind.value,
+                arrays=dispatch.arrays,
+                decided_at=sim.now,
+                predicted_time=dispatch.predicted_time,
+                queue_depth=policy.pending(),
+            )
 
             bytes_total = profile.fill_bytes * profile.n_iter
             ledger.add(
@@ -200,6 +270,10 @@ class Dispatcher:
                 )
                 device.allocator.free(allocation)
                 device.running -= 1
+                metrics.counter("jobs.completed").inc()
+                slot_gauges[kind].set(sim.now, device.running)
+                array_gauges[kind].set(sim.now, device.allocator.used_arrays)
+                decisions.complete(job.job_id, record.latency)
                 policy.notify_completion(job, kind, sim.now)
                 pump()
 
@@ -224,6 +298,8 @@ class Dispatcher:
             dispatches = policy.next_dispatches(view())
             for dispatch in dispatches:
                 launch(dispatch)
+            pending_gauge.set(sim.now, policy.pending())
+            sample_queue_depths()
             # Time-driven policies (static global schedules) want to be
             # consulted at their next planned dispatch time.  Planned
             # times already in the past are served by the next
@@ -254,4 +330,6 @@ class Dispatcher:
             energy=ledger,
             records=records,
             scheduler_name=label,
+            metrics=metrics,
+            decisions=decisions,
         )

@@ -48,6 +48,9 @@ class AdaptivePolicy(DispatchPolicy):
     def pending(self) -> int:
         return sum(len(entries) for entries in self._queues.values())
 
+    def queue_depths(self) -> dict[str, int]:
+        return {kind.value: len(entries) for kind, entries in self._queues.items()}
+
     def notify_completion(self, job: Job, kind: MemoryKind, now: float) -> None:
         self._inflight.get(kind, {}).pop(job.job_id, None)
 
@@ -64,7 +67,12 @@ class AdaptivePolicy(DispatchPolicy):
             for entry in queue:
                 if free_slots.get(kind, 0) > 0 and free_run.get(kind, 0) >= entry.arrays:
                     dispatches.append(
-                        Dispatch(job=entry.job, kind=kind, arrays=entry.arrays)
+                        Dispatch(
+                            job=entry.job,
+                            kind=kind,
+                            arrays=entry.arrays,
+                            predicted_time=entry.est_time,
+                        )
                     )
                     free_slots[kind] -= 1
                     free_run[kind] -= entry.arrays
@@ -90,10 +98,16 @@ class AdaptivePolicy(DispatchPolicy):
                     if entry.estimate.unit_arrays > run:
                         continue
                     arrays = entry.estimate.snap_to_replica(run)
-                    finish = view.now + entry.estimate.total_time(arrays)
+                    est_time = entry.estimate.total_time(arrays)
+                    finish = view.now + est_time
                     if finish <= horizon:
                         dispatches.append(
-                            Dispatch(job=entry.job, kind=kind, arrays=arrays)
+                            Dispatch(
+                                job=entry.job,
+                                kind=kind,
+                                arrays=arrays,
+                                predicted_time=est_time,
+                            )
                         )
                         queue.remove(entry)
                         free_slots[kind] -= 1

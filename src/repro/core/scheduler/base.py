@@ -59,17 +59,27 @@ class MLIMPSystem:
 
 @dataclass(frozen=True)
 class Dispatch:
-    """One launch decision: run ``job`` on ``kind`` with ``arrays``."""
+    """One launch decision: run ``job`` on ``kind`` with ``arrays``.
+
+    ``predicted_time`` is the total execution time the scheduler's
+    estimate forecast for this allocation; the dispatcher logs it
+    against the measured latency so predictor error (paper III-E) is
+    observable on every run.  Policies that plan without an estimate
+    may leave it ``None``.
+    """
 
     job: Job
     kind: MemoryKind
     arrays: int
+    predicted_time: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrays < 1:
             raise ValueError("dispatch must allocate at least one array")
         if self.kind not in self.job.profiles:
             raise ValueError(f"{self.job.job_id} does not support {self.kind}")
+        if self.predicted_time is not None and self.predicted_time < 0:
+            raise ValueError("predicted_time must be non-negative")
 
 
 @dataclass
@@ -104,6 +114,12 @@ class DispatchPolicy(abc.ABC):
 
     def notify_completion(self, job: Job, kind: MemoryKind, now: float) -> None:
         """Hook: a dispatched job finished (adaptive policies use it)."""
+
+    def queue_depths(self) -> dict[str, int] | None:
+        """Pending jobs per internal queue, for the observability
+        layer's queue-depth gauges.  ``None`` (the default) means the
+        policy does not expose its queue structure."""
+        return None
 
     def next_event_time(self, now: float) -> float | None:
         """Next *planned* time this policy wants to be consulted, for

@@ -137,6 +137,13 @@ class GlobalPolicy(DispatchPolicy):
     def pending(self) -> int:
         return len(self._schedule)
 
+    def queue_depths(self) -> dict[str, int]:
+        depths: dict[str, int] = {}
+        for scheduled in self._schedule:
+            device = scheduled.entry.kind.value
+            depths[device] = depths.get(device, 0) + 1
+        return depths
+
     def next_event_time(self, now: float) -> float | None:
         if not self._schedule:
             return None
@@ -158,7 +165,14 @@ class GlobalPolicy(DispatchPolicy):
                 blocked.add(kind)
                 continue
             self._schedule.remove(scheduled)
-            dispatches.append(Dispatch(job=entry.job, kind=kind, arrays=entry.arrays))
+            dispatches.append(
+                Dispatch(
+                    job=entry.job,
+                    kind=kind,
+                    arrays=entry.arrays,
+                    predicted_time=entry.est_time,
+                )
+            )
             free_slots[kind] -= 1
             free_run[kind] -= entry.arrays
         return dispatches

@@ -69,23 +69,32 @@ def flow_shop_makespan(
 class _JohnsonPolicy(DispatchPolicy):
     """Dispatch the Johnson sequence in order onto one memory."""
 
-    def __init__(self, sequence: list[tuple[Job, int]], kind: MemoryKind) -> None:
+    def __init__(
+        self, sequence: list[tuple[Job, int, float]], kind: MemoryKind
+    ) -> None:
         self._sequence = list(sequence)
         self._kind = kind
 
     def pending(self) -> int:
         return len(self._sequence)
 
+    def queue_depths(self) -> dict[str, int]:
+        return {self._kind.value: len(self._sequence)}
+
     def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
         dispatches: list[Dispatch] = []
         free_slots = view.free_slots.get(self._kind, 0)
         free_run = view.largest_free_run.get(self._kind, 0)
         while self._sequence:
-            job, arrays = self._sequence[0]
+            job, arrays, est_time = self._sequence[0]
             if free_slots <= 0 or free_run < arrays:
                 break  # the sequence is the schedule; no reordering
             self._sequence.pop(0)
-            dispatches.append(Dispatch(job=job, kind=self._kind, arrays=arrays))
+            dispatches.append(
+                Dispatch(
+                    job=job, kind=self._kind, arrays=arrays, predicted_time=est_time
+                )
+            )
             free_slots -= 1
             free_run -= arrays
         return dispatches
@@ -113,6 +122,7 @@ class JohnsonScheduler(Scheduler):
             )
         kind = system.kinds[0]
         allocations: list[int] = []
+        est_times: list[float] = []
         stage_times: list[tuple[float, float]] = []
         for job in jobs:
             estimate = self.predictor.estimate(job, kind)
@@ -121,9 +131,10 @@ class JohnsonScheduler(Scheduler):
             arrays = max(system.fair_share(kind), estimate.unit_arrays)
             arrays = min(arrays, system.arrays(kind))
             allocations.append(arrays)
+            est_times.append(estimate.total_time(arrays))
             stage_times.append(
                 (estimate.load_time(arrays), estimate.compute_time(arrays))
             )
         order = johnson_order(stage_times)
-        sequence = [(jobs[i], allocations[i]) for i in order]
+        sequence = [(jobs[i], allocations[i], est_times[i]) for i in order]
         return _JohnsonPolicy(sequence, kind)

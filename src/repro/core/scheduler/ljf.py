@@ -40,6 +40,9 @@ class LJFPolicy(DispatchPolicy):
     def pending(self) -> int:
         return len(self._queue)
 
+    def queue_depths(self) -> dict[str, int]:
+        return {"shared": len(self._queue)}
+
     def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
         dispatches: list[Dispatch] = []
         free_slots = dict(view.free_slots)
@@ -50,7 +53,14 @@ class LJFPolicy(DispatchPolicy):
             if free_slots.get(kind, 0) <= 0 or free_run.get(kind, 0) < head.arrays:
                 break  # naive head-of-line blocking
             self._queue.pop(0)
-            dispatches.append(Dispatch(job=head.job, kind=kind, arrays=head.arrays))
+            dispatches.append(
+                Dispatch(
+                    job=head.job,
+                    kind=kind,
+                    arrays=head.arrays,
+                    predicted_time=head.best_time,
+                )
+            )
             free_slots[kind] -= 1
             free_run[kind] -= head.arrays
         return dispatches

@@ -125,6 +125,21 @@ class BatchRunSummary:
 
         return sum(result.trace.phase_time(Phase.FILL) for result in self.results)
 
+    def reports(self):
+        """Per-batch observability reports (``repro.obs`` RunReports)."""
+        return [result.report() for result in self.results]
+
+    def mean_utilisation(self, device: str) -> float:
+        """Average utilisation of one device across all batches."""
+        values = [
+            report.devices[device].utilisation
+            for report in self.reports()
+            if device in report.devices
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
 
 def build_workload(
     dataset: str,

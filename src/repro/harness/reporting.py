@@ -8,6 +8,9 @@ and figure series as text.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -64,6 +67,35 @@ class Report:
         return {
             row[0]: dict(zip(self.columns[1:], row[1:])) for row in self.rows
         }
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-ready structure: title, columns, rows, notes."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, path: str | None = None, indent: int = 2) -> str:
+        """Serialise to JSON; optionally also write it to ``path``."""
+        text = json.dumps(self.to_json_dict(), indent=indent, default=str)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def to_csv(self, path: str | None = None) -> str:
+        """Serialise the table to CSV; optionally write it to ``path``."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
 
     def __str__(self) -> str:
         cells = [[str(c) for c in self.columns]] + [

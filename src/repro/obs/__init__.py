@@ -1,0 +1,35 @@
+"""Observability for MLIMP runs: metrics, decision log, trace analytics.
+
+The paper's evaluation (Figs. 12-19) reasons about per-device
+utilisation timelines, phase overlap and scheduler-vs-oracle gaps;
+this package makes those quantities first-class for *every* run:
+
+``repro.obs.metrics``    counters / gauges / histograms fed by the dispatcher
+``repro.obs.decisions``  per-dispatch predicted-vs-actual decision log
+``repro.obs.analytics``  utilisation, bubbles, phase breakdown -> RunReport
+``repro.obs.export``     JSON / CSV dumps (also behind ``python -m repro trace``)
+"""
+
+from .analytics import DeviceReport, RunReport, bubbles, build_report, merged_intervals
+from .decisions import DecisionLog, DispatchDecision
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, nearest_rank
+from .export import result_payload, trace_rows, write_results_json, write_trace_csv
+
+__all__ = [
+    "DeviceReport",
+    "RunReport",
+    "bubbles",
+    "build_report",
+    "merged_intervals",
+    "DecisionLog",
+    "DispatchDecision",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "nearest_rank",
+    "result_payload",
+    "trace_rows",
+    "write_results_json",
+    "write_trace_csv",
+]

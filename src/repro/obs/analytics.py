@@ -1,0 +1,201 @@
+"""Trace analytics: the numbers behind the paper's timeline figures.
+
+Figures 12-19 of the paper are statements about *where time goes*:
+per-device utilisation, fill/replicate/compute overlap, and the
+scheduling bubbles that separate the adaptive scheduler from the
+global one (Section III-C5).  This module derives all of them from an
+:class:`~repro.sim.trace.ExecutionTrace` and packages the result as a
+:class:`RunReport`, reachable from any run via
+:meth:`repro.core.dispatcher.DispatchResult.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.trace import ExecutionTrace
+
+__all__ = ["DeviceReport", "RunReport", "merged_intervals", "bubbles", "build_report"]
+
+#: Gaps shorter than this fraction of the device's active span are
+#: measurement noise (event ordering, dispatch overhead), not bubbles.
+MIN_BUBBLE_FRACTION = 1e-9
+
+
+def merged_intervals(trace: ExecutionTrace, device: str) -> list[tuple[float, float]]:
+    """The device's activity as disjoint, sorted (start, end) intervals."""
+    intervals = sorted(
+        (r.start, r.end) for r in trace.records if r.device == device
+    )
+    merged: list[tuple[float, float]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def bubbles(
+    trace: ExecutionTrace, device: str, min_gap: float | None = None
+) -> tuple[int, float]:
+    """Idle gaps on ``device`` between its first and last activity.
+
+    Returns ``(count, total_idle_seconds)``.  ``min_gap`` filters
+    floating-point slivers; it defaults to a tiny fraction of the
+    device's active span.
+    """
+    merged = merged_intervals(trace, device)
+    if len(merged) < 2:
+        return 0, 0.0
+    if min_gap is None:
+        span = merged[-1][1] - merged[0][0]
+        min_gap = span * MIN_BUBBLE_FRACTION
+    count, total = 0, 0.0
+    for (_, end), (start, _) in zip(merged, merged[1:]):
+        gap = start - end
+        if gap > min_gap:
+            count += 1
+            total += gap
+    return count, total
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """One device's share of the run."""
+
+    device: str
+    first_activity: float
+    last_activity: float
+    busy_time: float
+    utilisation: float
+    bubble_count: int
+    bubble_time: float
+    phase_seconds: dict[str, float]
+    jobs: int
+
+    def as_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "first_activity": self.first_activity,
+            "last_activity": self.last_activity,
+            "busy_time": self.busy_time,
+            "utilisation": self.utilisation,
+            "bubble_count": self.bubble_count,
+            "bubble_time": self.bubble_time,
+            "phase_seconds": dict(self.phase_seconds),
+            "jobs": self.jobs,
+        }
+
+
+@dataclass
+class RunReport:
+    """Everything the observability layer derives from one run."""
+
+    scheduler: str
+    makespan: float
+    n_jobs: int
+    mean_latency: float
+    p99_latency: float
+    devices: dict[str, DeviceReport] = field(default_factory=dict)
+    predictor: dict | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "makespan": self.makespan,
+            "n_jobs": self.n_jobs,
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.p99_latency,
+            "devices": {name: dev.as_dict() for name, dev in self.devices.items()},
+            "predictor": self.predictor,
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"== dispatch report ({self.scheduler or 'unlabelled'}) ==",
+            f"makespan {_fmt_time(self.makespan)}  jobs {self.n_jobs}  "
+            f"mean latency {_fmt_time(self.mean_latency)}  "
+            f"p99 {_fmt_time(self.p99_latency)}",
+        ]
+        phases = sorted({p for dev in self.devices.values() for p in dev.phase_seconds})
+        header = ["device", "jobs", "util", "busy", "bubbles", "idle"] + phases
+        rows = [header]
+        for name in sorted(self.devices):
+            dev = self.devices[name]
+            rows.append(
+                [
+                    name,
+                    str(dev.jobs),
+                    f"{dev.utilisation:.3f}",
+                    _fmt_time(dev.busy_time),
+                    str(dev.bubble_count),
+                    _fmt_time(dev.bubble_time),
+                ]
+                + [_fmt_time(dev.phase_seconds.get(p, 0.0)) for p in phases]
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if self.predictor is None:
+            lines.append("predictor error: n/a (no predictions recorded)")
+        else:
+            p = self.predictor
+            lines.append(
+                f"predictor error: n={p['count']}  "
+                f"mean |err| {p['mean_abs_rel_error'] * 100:.1f}%  "
+                f"p50 {p['p50_abs_rel_error'] * 100:.1f}%  "
+                f"p90 {p['p90_abs_rel_error'] * 100:.1f}%  "
+                f"bias {p['mean_signed_rel_error'] * 100:+.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def build_report(result) -> RunReport:
+    """Derive the :class:`RunReport` for one
+    :class:`~repro.core.dispatcher.DispatchResult`."""
+    trace = result.trace
+    jobs_per_device: dict[str, int] = {}
+    for record in result.records.values():
+        device = record.kind.value
+        jobs_per_device[device] = jobs_per_device.get(device, 0) + 1
+    devices: dict[str, DeviceReport] = {}
+    for device in trace.devices():
+        merged = merged_intervals(trace, device)
+        bubble_count, bubble_time = bubbles(trace, device)
+        devices[device] = DeviceReport(
+            device=device,
+            first_activity=merged[0][0],
+            last_activity=merged[-1][1],
+            busy_time=trace.busy_time(device),
+            utilisation=trace.utilisation(device),
+            bubble_count=bubble_count,
+            bubble_time=bubble_time,
+            phase_seconds={
+                phase: seconds
+                for phase, seconds in trace.per_device_phase_breakdown()
+                .get(device, {})
+                .items()
+            },
+            jobs=jobs_per_device.get(device, 0),
+        )
+    decisions = getattr(result, "decisions", None)
+    return RunReport(
+        scheduler=result.scheduler_name,
+        makespan=result.makespan,
+        n_jobs=len(result.records),
+        mean_latency=result.mean_latency(),
+        p99_latency=result.tail_latency(0.99),
+        devices=devices,
+        predictor=decisions.error_summary() if decisions is not None else None,
+    )
+
+
+def _fmt_time(seconds: float) -> str:
+    """Human-scaled time (kept local: obs sits below the harness)."""
+    if seconds == 0:
+        return "0"
+    for unit, factor in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6), ("ns", 1e-9)):
+        if abs(seconds) >= factor:
+            return f"{seconds / factor:.2f}{unit}"
+    return f"{seconds:.2e}s"

@@ -1,0 +1,88 @@
+"""JSON / CSV exporters for dispatch runs.
+
+One :func:`result_payload` dict per run -- the derived report, the
+raw trace timeline, the decision log and the metrics snapshot --
+written by :func:`write_results_json`; :func:`write_trace_csv` dumps
+the flat per-phase timeline for spreadsheet/Perfetto-style analysis.
+Both accept a single :class:`~repro.core.dispatcher.DispatchResult`
+or a list of them (multi-batch runs), tagging each row with its run
+index.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .analytics import build_report
+
+__all__ = [
+    "trace_rows",
+    "result_payload",
+    "write_results_json",
+    "write_trace_csv",
+]
+
+_CSV_COLUMNS = ["run", "job_id", "device", "phase", "start", "end", "duration", "arrays"]
+
+
+def trace_rows(result, run: int = 0) -> list[dict]:
+    """Flat timeline rows for one run's trace."""
+    return [
+        {
+            "run": run,
+            "job_id": r.job_id,
+            "device": r.device,
+            "phase": r.phase.value,
+            "start": r.start,
+            "end": r.end,
+            "duration": r.duration,
+            "arrays": r.arrays,
+        }
+        for r in result.trace.records
+    ]
+
+
+def result_payload(result, run: int = 0) -> dict:
+    """Everything one run produced, as JSON-ready data."""
+    decisions = getattr(result, "decisions", None)
+    metrics = getattr(result, "metrics", None)
+    return {
+        "run": run,
+        "scheduler": result.scheduler_name,
+        "makespan": result.makespan,
+        "report": build_report(result).as_dict(),
+        "trace": trace_rows(result, run),
+        "decisions": (
+            [d.as_dict() for d in decisions] if decisions is not None else []
+        ),
+        "metrics": (
+            metrics.snapshot(result.makespan) if metrics is not None else None
+        ),
+        "energy_j": result.energy.total(),
+    }
+
+
+def _as_results(results) -> list:
+    return list(results) if isinstance(results, (list, tuple)) else [results]
+
+
+def write_results_json(results, path: str | Path) -> Path:
+    """Write one or several runs to ``path`` as a JSON document."""
+    path = Path(path)
+    runs = [result_payload(r, i) for i, r in enumerate(_as_results(results))]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"runs": runs}, indent=2, sort_keys=True))
+    return path
+
+def write_trace_csv(results, path: str | Path) -> Path:
+    """Write the flat phase timeline of one or several runs as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_COLUMNS)
+        writer.writeheader()
+        for run, result in enumerate(_as_results(results)):
+            writer.writerows(trace_rows(result, run))
+    return path

@@ -1,0 +1,183 @@
+"""Lightweight run metrics: counters, gauges, histograms.
+
+The dispatcher feeds a :class:`MetricsRegistry` while a run executes:
+counters for dispatch/completion events, step-function gauges for
+per-device slots-in-use, arrays-in-use, queue depth and DDR4 pipe
+occupancy, and value histograms for latency-like samples.  Gauges keep
+their full (time, value) series, so time-weighted summaries -- the
+quantities behind the paper's utilisation-timeline figures -- can be
+derived after the run without any periodic sampling thread.
+
+Everything is plain Python with no locking: the simulation is
+single-threaded and deterministic, and a registry belongs to exactly
+one :meth:`~repro.core.dispatcher.Dispatcher.run` call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "nearest_rank"]
+
+
+def nearest_rank(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank quantile: value at index ``ceil(q * n) - 1``.
+
+    This is the textbook definition the dispatcher's tail-latency
+    metric also uses; ``quantile`` must be in (0, 1].
+    """
+    if not sorted_values:
+        raise ValueError("nearest_rank of an empty sample")
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    index = max(0, math.ceil(quantile * len(sorted_values)) - 1)
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing event count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Step-function time series of one instantaneous quantity.
+
+    ``set(t, v)`` appends a sample; between samples the gauge holds its
+    last value, which is what the event-driven dispatcher produces
+    (state only changes at events).  Samples at the same timestamp
+    overwrite, so a burst of same-instant events leaves one point.
+    """
+
+    name: str
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    def set(self, time: float, value: float) -> None:
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError(
+                f"gauge {self.name}: sample at {time} precedes {self.samples[-1][0]}"
+            )
+        if self.samples and time == self.samples[-1][0]:
+            self.samples[-1] = (time, float(value))
+        else:
+            self.samples.append((time, float(value)))
+
+    @property
+    def value(self) -> float:
+        """Most recent sample (0 before any sample)."""
+        return self.samples[-1][1] if self.samples else 0.0
+
+    @property
+    def max_value(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    def time_weighted_mean(self, horizon: float | None = None) -> float:
+        """Mean of the step function over [first sample, horizon]."""
+        if not self.samples:
+            return 0.0
+        end = self.samples[-1][0] if horizon is None else horizon
+        start = self.samples[0][0]
+        if end <= start:
+            return self.samples[-1][1]
+        area = 0.0
+        for (t0, v0), (t1, _) in zip(self.samples, self.samples[1:]):
+            area += v0 * (min(t1, end) - t0)
+        last_t, last_v = self.samples[-1]
+        if end > last_t:
+            area += last_v * (end - last_t)
+        return area / (end - start)
+
+    def time_in_state(self, horizon: float | None = None) -> dict[float, float]:
+        """Time-weighted histogram: seconds spent at each gauge value."""
+        out: dict[float, float] = {}
+        if not self.samples:
+            return out
+        end = self.samples[-1][0] if horizon is None else horizon
+        for (t0, v0), (t1, _) in zip(self.samples, self.samples[1:]):
+            span = min(t1, end) - t0
+            if span > 0:
+                out[v0] = out.get(v0, 0.0) + span
+        last_t, last_v = self.samples[-1]
+        if end > last_t:
+            out[last_v] = out.get(last_v, 0.0) + (end - last_t)
+        return out
+
+
+@dataclass
+class Histogram:
+    """Plain value histogram with nearest-rank quantiles."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self.values:
+            return 0.0
+        return nearest_rank(sorted(self.values), q)
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self, horizon: float | None = None) -> dict:
+        """JSON-ready summary of every metric."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {
+                    "last": g.value,
+                    "max": g.max_value,
+                    "time_weighted_mean": g.time_weighted_mean(horizon),
+                    "samples": len(g.samples),
+                }
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "mean": h.mean(),
+                    "p50": h.quantile(0.5),
+                    "p99": h.quantile(0.99),
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }

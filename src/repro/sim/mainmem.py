@@ -72,6 +72,10 @@ class SharedBandwidthPipe:
         self.config = config or DDR4Config()
         self._active: list[Transfer] = []
         self.total_bytes = 0.0
+        #: Optional hook called with ``(now, active_transfers)`` every
+        #: time pipe membership changes; the observability layer uses
+        #: it to record DDR4 occupancy over time.
+        self.on_occupancy: Callable[[float, int], None] | None = None
 
     @property
     def active_transfers(self) -> int:
@@ -109,6 +113,8 @@ class SharedBandwidthPipe:
         self._active.append(transfer)
         transfer.last_update = self.sim.now
         self._reschedule()
+        if self.on_occupancy is not None:
+            self.on_occupancy(self.sim.now, len(self._active))
 
     def _drain_progress(self) -> None:
         """Advance ``remaining`` of all active transfers to ``now``."""
@@ -140,6 +146,8 @@ class SharedBandwidthPipe:
         transfer.remaining = 0.0
         self._active.remove(transfer)
         self._reschedule()
+        if self.on_occupancy is not None:
+            self.on_occupancy(self.sim.now, len(self._active))
         transfer.on_done()
 
     def energy_j(self) -> float:

@@ -30,3 +30,44 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceCommand:
+    def test_trace_combo(self, capsys):
+        assert main(["trace", "A", "--scheduler", "global"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch report" in out
+        assert "predictor error" in out
+        for device in ("sram", "dram", "reram"):
+            assert device in out
+
+    def test_trace_exports(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "runs.json"
+        csv_path = tmp_path / "trace.csv"
+        assert (
+            main(
+                [
+                    "trace", "A",
+                    "--scheduler", "ljf",
+                    "--json", str(json_path),
+                    "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(json_path.read_text())
+        (run,) = data["runs"]
+        assert run["report"]["n_jobs"] == len(run["decisions"]) > 0
+        assert all(
+            d["predicted_time"] is not None and d["actual_time"] is not None
+            for d in run["decisions"]
+        )
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "run,job_id,device,phase,start,end,duration,arrays"
+
+    def test_trace_unknown_target(self, capsys):
+        assert main(["trace", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown trace target" in err

@@ -217,6 +217,127 @@ class TestErrors:
             )
 
 
+class TestSlotEnforcement:
+    def test_oversubscribed_slots_rejected(self):
+        """A policy that ignores the view's free slots must be caught:
+        the device has 2 job slots, the policy hands over 3 jobs."""
+
+        class GreedyPolicy(DispatchPolicy):
+            def __init__(self, dispatches):
+                self._queue = list(dispatches)
+
+            def pending(self):
+                return len(self._queue)
+
+            def next_dispatches(self, view):
+                out, self._queue = self._queue, []
+                return out
+
+        system = make_system(spec())  # max_outstanding_jobs=2
+        jobs = [job(f"j{i}") for i in range(3)]
+        with pytest.raises(DispatchError, match="over-subscribed"):
+            Dispatcher(system).run(
+                GreedyPolicy(
+                    [Dispatch(job=j, kind=MemoryKind.SRAM, arrays=4) for j in jobs]
+                )
+            )
+
+    def test_full_slot_occupancy_allowed(self):
+        """Exactly filling both slots is fine."""
+        system = make_system(spec())
+        jobs = [job(f"j{i}") for i in range(2)]
+        result = Dispatcher(system).run(
+            StaticPolicy(
+                [Dispatch(job=j, kind=MemoryKind.SRAM, arrays=4) for j in jobs]
+            )
+        )
+        assert len(result.records) == 2
+
+
+class TestTailLatency:
+    def _result_with_latencies(self, latencies):
+        from repro.core.dispatcher import DispatchResult, JobRecord
+        from repro.sim import EnergyLedger
+        from repro.sim.trace import ExecutionTrace
+
+        records = {
+            f"j{i}": JobRecord(
+                job_id=f"j{i}",
+                kind=MemoryKind.SRAM,
+                arrays=1,
+                dispatched_at=0.0,
+                finished_at=latency,
+            )
+            for i, latency in enumerate(latencies)
+        }
+        return DispatchResult(
+            makespan=max(latencies),
+            trace=ExecutionTrace(),
+            energy=EnergyLedger(),
+            records=records,
+        )
+
+    def test_nearest_rank_pinned(self):
+        """100 known latencies 0.001..0.100: p50 = 0.050, p99 = 0.099.
+
+        The old int(q*n) indexing returned 0.051 and the maximum here.
+        """
+        latencies = [i / 1000 for i in range(1, 101)]
+        result = self._result_with_latencies(latencies)
+        assert result.tail_latency(0.50) == pytest.approx(0.050)
+        assert result.tail_latency(0.99) == pytest.approx(0.099)
+        assert result.tail_latency(1.00) == pytest.approx(0.100)
+
+    def test_small_samples(self):
+        result = self._result_with_latencies([3.0, 1.0, 2.0])
+        assert result.tail_latency(0.50) == pytest.approx(2.0)
+        assert result.tail_latency(0.99) == pytest.approx(3.0)
+        # A tiny quantile returns the minimum, never an invalid index.
+        assert result.tail_latency(0.01) == pytest.approx(1.0)
+
+    def test_invalid_quantile_rejected(self):
+        result = self._result_with_latencies([1.0])
+        with pytest.raises(ValueError):
+            result.tail_latency(0.0)
+        with pytest.raises(ValueError):
+            result.tail_latency(1.5)
+
+
+class TestObservability:
+    def test_metrics_and_decisions_populated(self):
+        system = make_system(spec())
+        jobs = [job(f"j{i}") for i in range(3)]
+        result = Dispatcher(system).run(
+            StaticPolicy(
+                [Dispatch(job=j, kind=MemoryKind.SRAM, arrays=4) for j in jobs]
+            )
+        )
+        assert result.metrics.counters["jobs.dispatched"].value == 3
+        assert result.metrics.counters["jobs.completed"].value == 3
+        slots = result.metrics.gauges["sram.slots_in_use"]
+        assert slots.max_value <= 2  # never above the slot limit
+        assert slots.value == 0  # everything drained by the end
+        assert result.metrics.gauges["ddr4.active_transfers"].value == 0
+        assert len(result.decisions) == 3
+        assert all(d.actual_time is not None for d in result.decisions)
+
+    def test_report_from_real_run(self):
+        system = make_system(spec())
+        jobs = [job(f"j{i}") for i in range(4)]
+        result = Dispatcher(system).run(
+            StaticPolicy(
+                [Dispatch(job=j, kind=MemoryKind.SRAM, arrays=4) for j in jobs]
+            )
+        )
+        report = result.report()
+        dev = report.devices["sram"]
+        assert 0.0 < dev.utilisation <= 1.0
+        assert dev.jobs == 4
+        assert dev.busy_time <= result.makespan * (1 + 1e-9)
+        # StaticPolicy dispatches carry no predictions.
+        assert report.predictor is None
+
+
 class TestResultMetrics:
     def test_latency_statistics(self):
         system = make_system(spec())

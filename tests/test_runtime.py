@@ -10,6 +10,13 @@ from repro.core import (
     MLIMPSystem,
     OraclePredictor,
 )
+from repro.core.dispatcher import DispatchError
+from repro.core.scheduler.base import (
+    Dispatch,
+    DispatchPolicy,
+    ResourceView,
+    Scheduler,
+)
 from repro.memories import ArrayGeometry, MemoryKind, MemorySpec
 
 
@@ -110,4 +117,120 @@ class TestRuntime:
         runtime.run()
         runtime.submit(job(1))
         runtime.run()
+        assert len(runtime.history) == 2
+
+
+class _OneAtATimePolicy(DispatchPolicy):
+    """Releases one job per completion: exercises the preview's
+    completion feedback (a static drain would stall after job one)."""
+
+    def __init__(self, jobs: list[Job]):
+        self._jobs = list(jobs)
+        self._in_flight = 0
+
+    def pending(self) -> int:
+        return len(self._jobs)
+
+    def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+        if self._in_flight or not self._jobs:
+            return []
+        self._in_flight = 1
+        return [Dispatch(job=self._jobs.pop(0), kind=MemoryKind.SRAM, arrays=4)]
+
+    def notify_completion(self, job, kind, now) -> None:
+        self._in_flight = 0
+
+
+class _OneAtATimeScheduler(Scheduler):
+    name = "one-at-a-time"
+
+    def plan(self, jobs, system):
+        return _OneAtATimePolicy(jobs)
+
+
+class _StuckScheduler(Scheduler):
+    """Plans a policy that never dispatches anything."""
+
+    name = "stuck"
+
+    class _Policy(DispatchPolicy):
+        def pending(self) -> int:
+            return 1
+
+        def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+            return []
+
+    def plan(self, jobs, system):
+        return self._Policy()
+
+
+class TestPlanPreview:
+    def test_completion_driven_policy_fully_drains(self, system):
+        """The preview must feed completions back so policies that
+        release work one completion at a time unwind completely."""
+        runtime = MLIMPRuntime(system, scheduler=_OneAtATimeScheduler())
+        runtime.submit_many(job(i) for i in range(5))
+        preview = runtime.plan_preview()
+        assert set(preview) == {f"rt{i}" for i in range(5)}
+
+    def test_stalled_policy_raises(self, system):
+        """A partial preview is never returned silently."""
+        runtime = MLIMPRuntime(system, scheduler=_StuckScheduler())
+        runtime.submit(job(0))
+        with pytest.raises(DispatchError, match="stalled"):
+            runtime.plan_preview()
+
+    def test_adaptive_preview_matches_run(self, system):
+        """The adaptive policy is completion-driven (backfill); its
+        preview must still cover the whole queue."""
+        runtime = MLIMPRuntime(system, scheduler="adaptive")
+        runtime.submit_many(job(i) for i in range(8))
+        preview = runtime.plan_preview()
+        assert set(preview) == {f"rt{i}" for i in range(8)}
+        result = runtime.run()
+        assert set(result.records) == set(preview)
+
+
+class TestSchedulerInstanceReuse:
+    def test_injected_instance_reused_across_runs(self, system):
+        """One Scheduler *instance* must serve several run() calls:
+        plan() is called afresh each time and leftover policy state
+        from run 1 must not leak into run 2."""
+        scheduler = GlobalScheduler(OraclePredictor(), intra_queue=False)
+        runtime = MLIMPRuntime(system, scheduler=scheduler)
+
+        runtime.submit_many(job(i) for i in range(4))
+        first = runtime.run()
+        assert set(first.records) == {f"rt{i}" for i in range(4)}
+
+        runtime.submit_many(job(i) for i in range(4, 7))
+        second = runtime.run()
+        assert set(second.records) == {f"rt{i}" for i in range(4, 7)}
+        assert second.scheduler_name == first.scheduler_name == "global"
+        # Both runs produced usable observability reports.
+        for result in (first, second):
+            report = result.report()
+            assert report.n_jobs == len(result.records)
+            assert all(
+                0.0 <= dev.utilisation <= 1.0 for dev in report.devices.values()
+            )
+
+    def test_stateful_custom_scheduler_reused(self, system):
+        """plan() is invoked once per run, even on a shared instance."""
+
+        class CountingScheduler(_OneAtATimeScheduler):
+            def __init__(self):
+                self.plans = 0
+
+            def plan(self, jobs, system):
+                self.plans += 1
+                return super().plan(jobs, system)
+
+        scheduler = CountingScheduler()
+        runtime = MLIMPRuntime(system, scheduler=scheduler)
+        runtime.submit(job(0))
+        runtime.run()
+        runtime.submit(job(1))
+        runtime.run()
+        assert scheduler.plans == 2
         assert len(runtime.history) == 2
