@@ -5,10 +5,11 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro run fig16            # one experiment
     python -m repro run fig13 fig14      # several
-    python -m repro run all              # everything (minutes)
+    python -m repro run all --parallel 4 # everything, across 4 workers
     python -m repro specs                # Table III device summary
     python -m repro trace A              # observability report for combo A
     python -m repro trace collab --scheduler adaptive --json out.json
+    python -m repro bench --quick        # timed perf suite -> BENCH_<date>.json
 """
 
 from __future__ import annotations
@@ -19,12 +20,9 @@ import time
 
 
 def _registry() -> dict:
-    from .harness.ablations import ABLATIONS
-    from .harness.experiments import EXPERIMENTS
+    from .harness.experiments import full_registry
 
-    registry = dict(EXPERIMENTS)
-    registry.update({f"ablation-{name}": fn for name, fn in ABLATIONS.items()})
-    return registry
+    return full_registry()
 
 
 def cmd_list() -> int:
@@ -48,7 +46,7 @@ def cmd_specs() -> int:
     return 0
 
 
-def cmd_run(names: list[str]) -> int:
+def cmd_run(names: list[str], parallel: int | None = None) -> int:
     registry = _registry()
     if names == ["all"]:
         names = list(registry)
@@ -57,11 +55,66 @@ def cmd_run(names: list[str]) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print("use 'python -m repro list'", file=sys.stderr)
         return 2
+    if parallel is not None and len(names) > 1:
+        from .harness.experiments import run_experiment_grid
+
+        start = time.time()
+        results = run_experiment_grid(names, max_workers=parallel or None)
+        for name, report in results:
+            print(report)
+            print(f"[{name}]\n")
+        print(f"[{len(names)} experiments: {time.time() - start:.1f}s total]")
+        return 0
     for name in names:
         start = time.time()
         report = registry[name]()
         print(report)
         print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the pinned perf suite and write ``BENCH_<date>.json``."""
+    import json
+
+    from .harness.bench import check_regression, run_bench, write_bench_json
+
+    payload = run_bench(
+        quick=args.quick, include_baseline=not args.no_baseline
+    )
+    width = max(len(name) for name in payload["targets"])
+    for name, entry in payload["targets"].items():
+        line = (
+            f"{name.ljust(width)}  {entry['wall_s']:8.3f}s  "
+            f"{entry['events']:>9,.0f} events  "
+            f"{entry['events_per_sec']:>12,.0f} ev/s"
+        )
+        baseline = payload.get("baseline") or {}
+        if name in baseline:
+            ratio = baseline[name]["wall_s"] / max(entry["wall_s"], 1e-12)
+            line += f"  {ratio:5.2f}x vs baseline"
+        print(line)
+    totals = payload["totals"]
+    summary = (
+        f"{'TOTAL'.ljust(width)}  {totals['wall_s']:8.3f}s  "
+        f"{totals['events']:>9,.0f} events  "
+        f"{totals['events_per_sec']:>12,.0f} ev/s"
+    )
+    if "speedup_vs_baseline" in totals:
+        summary += f"  {totals['speedup_vs_baseline']:5.2f}x vs baseline"
+    print(summary)
+    knee = payload["caches"].get("perfmodel.knee", {})
+    print(f"knee-cache hit rate: {knee.get('hit_rate', 0.0):.1%}")
+    path = write_bench_json(payload, args.out)
+    print(f"wrote {path}")
+    if args.check:
+        reference = json.loads(open(args.check).read())
+        failures = check_regression(payload, reference, args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression check vs {args.check}: ok")
     return 0
 
 
@@ -124,6 +177,17 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("specs", help="print the Table III device summary")
     run = sub.add_parser("run", help="run experiments by name (or 'all')")
     run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run.add_argument(
+        "--parallel",
+        "-j",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="N",
+        help="shard the grid across N worker processes "
+        "(no N = one per CPU); results print in input order",
+    )
     trace = sub.add_parser(
         "trace",
         help="run one workload and print the observability report",
@@ -145,6 +209,34 @@ def main(argv: list[str] | None = None) -> int:
     )
     trace.add_argument("--json", metavar="PATH", help="write the full run JSON")
     trace.add_argument("--csv", metavar="PATH", help="write the phase trace CSV")
+    bench = sub.add_parser(
+        "bench",
+        help="time the pinned perf suite and write BENCH_<date>.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small inputs (collab dataset, two combos) for CI smoke runs",
+    )
+    bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default: BENCH_<date>.json in the CWD)",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the uncached/scalar reference pass (halves runtime, "
+        "drops the speedup_vs_baseline field)",
+    )
+    bench.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="compare events/sec against a previous BENCH json; "
+        "exit 1 on regression beyond --max-regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional events/sec drop for --check (default 0.30)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -153,7 +245,9 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_specs()
     if args.command == "trace":
         return cmd_trace(args)
-    return cmd_run(args.names)
+    if args.command == "bench":
+        return cmd_bench(args)
+    return cmd_run(args.names, parallel=args.parallel)
 
 
 if __name__ == "__main__":

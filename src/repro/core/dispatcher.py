@@ -24,7 +24,7 @@ from ..memories.allocator import Allocation, ScratchpadAllocator
 from ..memories.base import MemoryKind
 from ..obs.analytics import RunReport, build_report
 from ..obs.decisions import DecisionLog
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, runtime_counter_inc
 from ..sim.energy import EnergyCategory, EnergyLedger
 from ..sim.engine import Simulator
 from ..sim.mainmem import DDR4Config, SharedBandwidthPipe
@@ -324,6 +324,11 @@ class Dispatcher:
         if policy.pending() > 0:
             raise DispatchError(f"{policy.pending()} jobs never dispatched")
         ledger.add(EnergyCategory.OFFCHIP, "ddr4", pipe.energy_j())
+        # Engine throughput: per-run counter for the snapshot, plus the
+        # process-global totals `repro bench` derives events/sec from.
+        metrics.counter("sim.events").inc(sim.processed)
+        runtime_counter_inc("sim.events", sim.processed)
+        runtime_counter_inc("sim.runs")
         return DispatchResult(
             makespan=makespan,
             trace=trace,

@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..memories.base import MemoryKind
 
 __all__ = ["JobPerfProfile", "Job"]
@@ -114,6 +116,35 @@ class JobPerfProfile:
 
     def total_time(self, arrays: int) -> float:
         return self.n_iter * (self.load_time(arrays) + self.compute_time(arrays))
+
+    # -- vectorised batch evaluation (the scheduler's knee search asks
+    # for t(x, m) over a whole allocation grid at once) ----------------
+    def replicas_batch(self, arrays) -> np.ndarray:
+        a = np.asarray(arrays, dtype=np.int64)
+        if a.size and int(a.min()) < self.unit_arrays:
+            raise ValueError(
+                f"allocation below the unit allocation {self.unit_arrays}"
+            )
+        return np.minimum(a // self.unit_arrays, self.waves_unit)
+
+    def load_time_batch(self, arrays) -> np.ndarray:
+        """Vectorised :meth:`load_time` over an allocation array."""
+        replicas = self.replicas_batch(arrays)
+        return self.t_load + self.t_replica_unit * (replicas - 1)
+
+    def compute_time_batch(self, arrays) -> np.ndarray:
+        """Vectorised :meth:`compute_time` over an allocation array."""
+        replicas = self.replicas_batch(arrays)
+        waves = np.ceil(self.waves_unit / replicas)
+        effective = np.ceil(self.waves_unit / waves)
+        per_wave = self.t_compute_unit / self.waves_unit
+        return waves * per_wave * effective**self.overhead_delta
+
+    def total_time_batch(self, arrays) -> np.ndarray:
+        """Vectorised :meth:`total_time` over an allocation array."""
+        return self.n_iter * (
+            self.load_time_batch(arrays) + self.compute_time_batch(arrays)
+        )
 
     def useful_max_arrays(self) -> int:
         """Beyond this allocation no further replica can help."""

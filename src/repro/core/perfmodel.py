@@ -17,11 +17,31 @@ over-provisions because the curve flattens; the scheduler instead
 picks the *knee* -- the ``m`` maximising the angular speed
 ``d theta / d m`` of the tangent to the curve
 (:func:`knee_allocation`).
+
+Performance layer
+-----------------
+Schedulers re-solve identical knee searches thousands of times per
+dispatch round (every job is planned on every memory, and the global
+scheduler replans the adaptive queues).  Both estimate classes are
+frozen (hashable by value), so the searches are memoised behind small
+LRU caches keyed on ``(estimate, max_arrays)``; the grid/inversion
+math is evaluated with vectorised NumPy batches instead of per-point
+Python loops.  Both behaviours are switchable::
+
+    from repro.core import perfmodel
+    perfmodel.configure(cache_enabled=False, vectorised=False)  # pre-PR path
+    perfmodel.cache_stats()   # {"perfmodel.knee": {"hits": ..., ...}, ...}
+    perfmodel.clear_caches()
+
+The caches are per-process (no locking -- the simulator is
+single-threaded and parallel experiment runners fork worker processes
+that each own their caches).
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,11 +57,134 @@ __all__ = [
     "min_time_allocation",
     "fit_beta",
     "DEFAULT_BETA",
+    "PerfModelConfig",
+    "configure",
+    "perf_config",
+    "cache_stats",
+    "clear_caches",
 ]
 
 #: Shape parameter used when no per-kernel fit is available; less than
 #: one models the parallelisation cost (paper III-C3).
 DEFAULT_BETA = 0.92
+
+
+# ======================================================================
+# Perf-layer configuration and caches
+# ======================================================================
+@dataclass
+class PerfModelConfig:
+    """Knobs for the perf layer (see module docstring).
+
+    ``cache_enabled`` gates the LRU memoisation of the allocation
+    searches *and* the :class:`PlannedJob` estimated-time memo;
+    ``vectorised`` selects NumPy batch evaluation of t(x, m) over the
+    grid vs the legacy per-point loop.  Disabling both reproduces the
+    pre-perf-layer behaviour exactly (the ``repro bench`` baseline
+    mode).
+    """
+
+    cache_enabled: bool = True
+    vectorised: bool = True
+    cache_maxsize: int = 4096
+
+
+_CONFIG = PerfModelConfig()
+
+_MISSING = object()
+
+
+class _LRUCache:
+    """Ordered-dict LRU with hit/miss accounting.
+
+    Not thread-safe by design: the simulation is single-threaded and
+    every parallel-runner worker process owns its own module state.
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+
+    def __init__(self, name: str, maxsize: int = 4096) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return _MISSING
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self, reset_counters: bool = True) -> None:
+        self._data.clear()
+        if reset_counters:
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+
+_GRID_CACHE = _LRUCache("perfmodel.grid")
+_KNEE_CACHE = _LRUCache("perfmodel.knee")
+_MIN_TIME_CACHE = _LRUCache("perfmodel.min_time")
+_ALL_CACHES = (_GRID_CACHE, _KNEE_CACHE, _MIN_TIME_CACHE)
+
+
+def perf_config() -> PerfModelConfig:
+    """The live (mutable) perf-layer configuration."""
+    return _CONFIG
+
+
+def configure(
+    cache_enabled: bool | None = None,
+    vectorised: bool | None = None,
+    cache_maxsize: int | None = None,
+) -> PerfModelConfig:
+    """Adjust the perf layer; ``None`` leaves a knob unchanged.
+
+    Returns the live config.  Shrinking ``cache_maxsize`` below the
+    current cache population evicts oldest entries lazily on the next
+    insert.
+    """
+    if cache_enabled is not None:
+        _CONFIG.cache_enabled = bool(cache_enabled)
+    if vectorised is not None:
+        _CONFIG.vectorised = bool(vectorised)
+    if cache_maxsize is not None:
+        if cache_maxsize < 1:
+            raise ValueError("cache_maxsize must be >= 1")
+        _CONFIG.cache_maxsize = int(cache_maxsize)
+        for cache in _ALL_CACHES:
+            cache.maxsize = _CONFIG.cache_maxsize
+    return _CONFIG
+
+
+def cache_stats() -> dict[str, dict]:
+    """Hit/miss/occupancy per cache, keyed by cache name."""
+    return {cache.name: cache.info() for cache in _ALL_CACHES}
+
+
+def clear_caches(reset_counters: bool = True) -> None:
+    """Drop all memoised allocation-search results."""
+    for cache in _ALL_CACHES:
+        cache.clear(reset_counters)
 
 
 @dataclass(frozen=True)
@@ -78,6 +221,20 @@ class ScaleFreeEstimate:
 
     def total_time(self, arrays: int) -> float:
         return self.n_iter * (self.load_time(arrays) + self.compute_time(arrays))
+
+    def total_time_batch(self, arrays) -> np.ndarray:
+        """Vectorised :meth:`total_time` over an allocation array."""
+        a = np.asarray(arrays, dtype=float)
+        if a.size and float(a.min()) < self.unit_arrays:
+            raise ValueError(
+                f"allocation below the unit allocation {self.unit_arrays}"
+            )
+        if self.max_useful_arrays is not None:
+            a = np.minimum(a, float(self.max_useful_arrays))
+        replicas = a / self.unit_arrays
+        load = self.t_load + self.t_replica_unit * np.maximum(0.0, replicas - 1.0)
+        compute = self.t_compute_unit * (self.unit_arrays / a) ** self.beta
+        return self.n_iter * (load + compute)
 
     def _effective(self, arrays: int) -> int:
         if self.max_useful_arrays is not None:
@@ -177,6 +334,14 @@ class ProfileEstimate:
             self.load_time(arrays) + self.compute_time(arrays)
         )
 
+    def total_time_batch(self, arrays) -> np.ndarray:
+        """Vectorised :meth:`total_time` over an allocation array."""
+        profile = self.profile
+        return profile.n_iter * (
+            profile.load_time_batch(arrays)
+            + profile.compute_time_batch(arrays) * self.compute_scale
+        )
+
     def snap_to_replica(self, arrays: int) -> int:
         unit = self.profile.unit_arrays
         snapped = max(unit, (arrays // unit) * unit)
@@ -212,20 +377,30 @@ def estimate_from_profile(
     )
 
 
+def _grid_times(estimate, grid: np.ndarray) -> np.ndarray:
+    """t(x, m) over the whole grid: one NumPy batch when the estimate
+    supports it (and vectorisation is on), else the legacy loop.
+
+    Duck-typed estimates without ``total_time_batch`` always take the
+    scalar path, so third-party estimate objects keep working.
+    """
+    if _CONFIG.vectorised:
+        batch = getattr(estimate, "total_time_batch", None)
+        if batch is not None:
+            return np.asarray(batch(grid), dtype=float)
+    return np.asarray([estimate.total_time(int(m)) for m in grid], dtype=float)
+
+
 def _invert_total_time(estimate, target_seconds: float, max_arrays: int) -> int:
     """Shared t^{-1} implementation over the replica-multiple grid."""
     if target_seconds <= 0:
         raise ValueError("target must be positive")
     grid = allocation_grid(estimate, max(estimate.unit_arrays, max_arrays))
-    best_arrays = int(grid[0])
-    best_time = estimate.total_time(best_arrays)
-    for arrays in grid:
-        t = estimate.total_time(int(arrays))
-        if t <= target_seconds:
-            return int(arrays)
-        if t < best_time:
-            best_time, best_arrays = t, int(arrays)
-    return best_arrays
+    times = _grid_times(estimate, grid)
+    meets = np.nonzero(times <= target_seconds)[0]
+    if meets.size:
+        return int(grid[int(meets[0])])
+    return int(grid[int(np.argmin(times))])
 
 
 def allocation_grid(estimate, max_arrays: int, points: int = 48) -> np.ndarray:
@@ -235,34 +410,83 @@ def allocation_grid(estimate, max_arrays: int, points: int = 48) -> np.ndarray:
     (anything in between is wasted -- see
     :meth:`ScaleFreeEstimate.snap_to_replica`), geometrically
     subsampled so the knee search stays cheap.
+
+    The grid depends only on ``(unit_arrays, max_arrays, points)``, so
+    results are memoised; cached grids are returned *read-only* (they
+    are shared across callers -- copy before mutating).
     """
     lo = estimate.unit_arrays
     if max_arrays < lo:
         raise ValueError("max_arrays below the unit allocation")
+    key = (lo, max_arrays, points)
+    if _CONFIG.cache_enabled:
+        cached = _GRID_CACHE.get(key)
+        if cached is not _MISSING:
+            return cached
     max_replicas = max_arrays // lo
     if max_replicas <= 1:
-        return np.asarray([lo])
-    replicas = np.unique(
-        np.round(np.geomspace(1, max_replicas, num=points)).astype(int)
-    )
-    return replicas[replicas >= 1] * lo
+        grid = np.asarray([lo])
+    else:
+        replicas = np.unique(
+            np.round(np.geomspace(1, max_replicas, num=points)).astype(int)
+        )
+        grid = replicas[replicas >= 1] * lo
+    if _CONFIG.cache_enabled:
+        grid.setflags(write=False)
+        _GRID_CACHE.put(key, grid)
+    return grid
+
+
+def _estimate_key(estimate, max_arrays: int):
+    """Cache key for an allocation search; ``None`` if unkeyable.
+
+    The shipped estimate classes are frozen dataclasses (hashable by
+    value), so identical parameters share one cache entry regardless
+    of which job produced them.  Unhashable duck-typed estimates are
+    simply not cached.
+    """
+    try:
+        hash(estimate)
+    except TypeError:
+        return None
+    return (estimate, max_arrays)
 
 
 def min_time_allocation(estimate, max_arrays: int) -> int:
     """The allocation strictly minimising t(x, m) -- the naive choice
     the paper rejects for over-provisioning (kept for the ablation)."""
+    key = _estimate_key(estimate, max_arrays) if _CONFIG.cache_enabled else None
+    if key is not None:
+        cached = _MIN_TIME_CACHE.get(key)
+        if cached is not _MISSING:
+            return cached
     grid = allocation_grid(estimate, max_arrays)
-    times = np.asarray([estimate.total_time(int(m)) for m in grid])
-    return int(grid[int(np.argmin(times))])
+    times = _grid_times(estimate, grid)
+    result = int(grid[int(np.argmin(times))])
+    if key is not None:
+        _MIN_TIME_CACHE.put(key, result)
+    return result
 
 
 def knee_allocation(estimate, max_arrays: int) -> int:
     """Allocation at the knee of t(x, m): max angular speed of the
     tangent (paper III-C3)."""
+    key = _estimate_key(estimate, max_arrays) if _CONFIG.cache_enabled else None
+    if key is not None:
+        cached = _KNEE_CACHE.get(key)
+        if cached is not _MISSING:
+            return cached
+    result = _knee_allocation_impl(estimate, max_arrays)
+    if key is not None:
+        _KNEE_CACHE.put(key, result)
+    return result
+
+
+def _knee_allocation_impl(estimate, max_arrays: int) -> int:
     grid = allocation_grid(estimate, max_arrays)
     if len(grid) == 1:
         return int(grid[0])
-    times = np.asarray([estimate.total_time(int(m)) for m in grid], dtype=float)
+    times = _grid_times(estimate, grid)
 
     # Normalise both axes so the angle is scale-invariant; otherwise
     # the knee depends on the units of seconds vs arrays.
@@ -293,13 +517,28 @@ def fit_beta(allocations, compute_times) -> tuple[float, float]:
     of the fit in log space.  Used to validate the scale-free property
     on the ground-truth (discrete) kernel scaling curves, reproducing
     the paper's median R^2 of 0.998.
+
+    Raises :class:`ValueError` on degenerate inputs -- mismatched
+    shapes, fewer than two *distinct* allocations (the log-log line is
+    underdetermined), or non-positive/non-finite values -- instead of
+    letting NumPy's linear algebra fail with an opaque error.
     """
     m = np.asarray(allocations, dtype=float)
     t = np.asarray(compute_times, dtype=float)
     if m.shape != t.shape or m.size < 2:
-        raise ValueError("need >= 2 matching (allocation, time) points")
+        raise ValueError(
+            "need >= 2 matching (allocation, time) points, got shapes "
+            f"{m.shape} and {t.shape}"
+        )
+    if not (np.all(np.isfinite(m)) and np.all(np.isfinite(t))):
+        raise ValueError("allocations and times must be finite")
     if np.any(m <= 0) or np.any(t <= 0):
         raise ValueError("allocations and times must be positive")
+    if np.unique(m).size < 2:
+        raise ValueError(
+            "need >= 2 distinct allocations to fit beta "
+            f"(all {m.size} points are at allocation {m[0]:g})"
+        )
     log_m, log_t = np.log(m), np.log(t)
     slope, intercept = np.polyfit(log_m, log_t, deg=1)
     pred = slope * log_m + intercept

@@ -19,7 +19,7 @@ from dataclasses import dataclass, replace
 
 from ...memories.base import MemoryKind
 from ..job import Job
-from ..perfmodel import ScaleFreeEstimate, knee_allocation
+from ..perfmodel import ScaleFreeEstimate, knee_allocation, perf_config
 from ..predictor import PerformancePredictor
 from .base import MLIMPSystem
 
@@ -43,7 +43,18 @@ class PlannedJob:
 
     @property
     def est_time(self) -> float:
-        return self.estimate.total_time(self.arrays)
+        # Memoised: the balancing loops (Algorithms 1-2) evaluate this
+        # O(queue^2) times per round, and both fields it depends on are
+        # frozen.  Writing through __dict__ bypasses the frozen-dataclass
+        # __setattr__; dataclasses.replace() builds a fresh instance, so
+        # with_arrays() never inherits a stale memo.
+        cached = self.__dict__.get("_est_time")
+        if cached is not None:
+            return cached
+        value = self.estimate.total_time(self.arrays)
+        if perf_config().cache_enabled:
+            self.__dict__["_est_time"] = value
+        return value
 
     def with_arrays(self, arrays: int) -> "PlannedJob":
         return replace(self, arrays=arrays)

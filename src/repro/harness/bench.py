@@ -1,0 +1,218 @@
+"""The pinned benchmark suite behind ``python -m repro bench``.
+
+Times a fixed set of representative workloads -- the Fig. 11 kernel
+comparison, the Fig. 15 scheduler sweep, the Fig. 19 multiprogramming
+combos and one full GNN epoch -- and writes ``BENCH_<date>.json``
+recording wall-clock, simulator events/sec and the perf-layer cache
+hit-rates (:func:`repro.obs.metrics.runtime_snapshot`).
+
+The suite is measured twice in the same process:
+
+* **baseline** -- the pre-perf-layer path: allocation-search caches and
+  the ``isa.timing`` memo disabled, per-point scalar grid math
+  (:func:`repro.core.perfmodel.configure` with everything off);
+* **optimised** -- caches on (cleared first, so hit-rates reflect only
+  the timed region) and vectorised grid evaluation.
+
+``totals.speedup_vs_baseline`` in the JSON is therefore an
+apples-to-apples measurement on the same machine and inputs.  One-time
+costs that neither mode exercises differently -- dataset/workload
+construction and MLP predictor training -- happen in an untimed warmup.
+
+Usage::
+
+    python -m repro bench                  # full suite
+    python -m repro bench --quick          # small dataset / combo subset
+    python -m repro bench --out b.json --check benchmarks/bench_baseline.json
+
+or programmatically::
+
+    from repro.harness.bench import run_bench, write_bench_json
+    payload = run_bench(quick=True)
+    path = write_bench_json(payload)
+    payload["totals"]["speedup_vs_baseline"]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+from ..core import perfmodel
+from ..core.predictor import OraclePredictor
+from ..core.scheduler import GlobalScheduler
+from ..isa import timing
+from ..obs.metrics import (
+    reset_runtime_counters,
+    runtime_counters,
+    runtime_snapshot,
+)
+from .experiments import (
+    _workload,
+    fig11_kernel_speedup,
+    fig15_scheduler_predictor,
+    fig19_combo_schedulers,
+)
+from .gnn import run_workload
+
+__all__ = [
+    "build_suite",
+    "run_bench",
+    "write_bench_json",
+    "check_regression",
+    "DEFAULT_MAX_REGRESSION",
+]
+
+#: CI gate: fail when events/sec drops more than this fraction below
+#: the checked-in baseline.
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def _set_fast_path(enabled: bool) -> None:
+    """Switch between the optimised and the pre-perf-layer code paths."""
+    perfmodel.configure(cache_enabled=enabled, vectorised=enabled)
+    timing.configure_cache(enabled)
+
+
+def build_suite(quick: bool = False) -> list[tuple[str, Callable[[], object]]]:
+    """Prepare the pinned suite; everything built here is warmup.
+
+    Returns ``(name, thunk)`` pairs.  ``quick`` shrinks the inputs
+    (smallest dataset, two combos) for CI smoke runs; the full suite
+    uses the paper's citation dataset and all Table II combos.
+    """
+    dataset = "collab" if quick else "citation"
+    combos = ("A", "B") if quick else None
+    workload = _workload(dataset)
+    mlp = workload.train_predictor()
+    return [
+        ("fig11_kernels", lambda: fig11_kernel_speedup(dataset)),
+        ("fig15_sched_sweep", lambda: fig15_scheduler_predictor(dataset, mlp=mlp)),
+        ("fig19_combos", lambda: fig19_combo_schedulers(combos)),
+        (
+            "gnn_epoch",
+            lambda: run_workload(workload, GlobalScheduler(OraclePredictor())),
+        ),
+    ]
+
+
+def _timed_pass(suite: list[tuple[str, Callable[[], object]]]) -> dict[str, dict]:
+    """Run every target once, recording wall time and simulator-event
+    throughput (from the process-global ``sim.events`` counter the
+    dispatcher maintains)."""
+    results: dict[str, dict] = {}
+    for name, thunk in suite:
+        events_before = runtime_counters().get("sim.events", 0.0)
+        start = time.perf_counter()
+        thunk()
+        wall = time.perf_counter() - start
+        events = runtime_counters().get("sim.events", 0.0) - events_before
+        results[name] = {
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        }
+    return results
+
+
+def _totals(per_target: dict[str, dict]) -> tuple[float, float]:
+    wall = sum(entry["wall_s"] for entry in per_target.values())
+    events = sum(entry["events"] for entry in per_target.values())
+    return wall, events
+
+
+def run_bench(quick: bool = False, include_baseline: bool = True) -> dict:
+    """Run the pinned suite and return the JSON-ready payload.
+
+    With ``include_baseline`` (the default) the suite runs twice --
+    pre-perf-layer mode first, then optimised -- and the payload's
+    ``totals.speedup_vs_baseline`` compares them.  The fast path is
+    always restored on exit, even if a target raises.
+    """
+    suite = build_suite(quick)
+    baseline: dict[str, dict] | None = None
+    try:
+        if include_baseline:
+            _set_fast_path(False)
+            reset_runtime_counters()
+            baseline = _timed_pass(suite)
+        _set_fast_path(True)
+        perfmodel.clear_caches()
+        timing.clear_cache()
+        reset_runtime_counters()
+        optimised = _timed_pass(suite)
+        snapshot = runtime_snapshot()
+    finally:
+        _set_fast_path(True)
+
+    wall, events = _totals(optimised)
+    totals: dict = {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+    if baseline is not None:
+        base_wall, base_events = _totals(baseline)
+        totals["baseline_wall_s"] = base_wall
+        totals["baseline_events_per_sec"] = (
+            base_events / base_wall if base_wall > 0 else 0.0
+        )
+        totals["speedup_vs_baseline"] = base_wall / wall if wall > 0 else 0.0
+    return {
+        "schema": 1,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "targets": optimised,
+        "baseline": baseline,
+        "totals": totals,
+        "caches": snapshot["caches"],
+        "counters": snapshot["counters"],
+    }
+
+
+def write_bench_json(payload: dict, out: str | os.PathLike | None = None) -> Path:
+    """Write the payload; default filename is ``BENCH_<YYYYMMDD>.json``
+    in the current directory."""
+    if out is None:
+        out = f"BENCH_{datetime.now(timezone.utc):%Y%m%d}.json"
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_regression(
+    payload: dict,
+    reference: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Compare a fresh payload against a checked-in reference.
+
+    Returns human-readable failure strings (empty = pass).  The gate
+    is total events/sec -- wall-clock alone shifts with machine load,
+    while events/sec normalises by the work actually simulated.
+    """
+    failures: list[str] = []
+    if payload.get("quick") != reference.get("quick"):
+        failures.append(
+            f"suite mismatch: payload quick={payload.get('quick')} vs "
+            f"reference quick={reference.get('quick')}"
+        )
+        return failures
+    current = payload["totals"]["events_per_sec"]
+    floor = reference["totals"]["events_per_sec"] * (1.0 - max_regression)
+    if current < floor:
+        failures.append(
+            f"events/sec regressed: {current:,.0f} < floor {floor:,.0f} "
+            f"(reference {reference['totals']['events_per_sec']:,.0f}, "
+            f"allowed regression {max_regression:.0%})"
+        )
+    return failures

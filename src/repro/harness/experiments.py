@@ -71,6 +71,9 @@ __all__ = [
     "scalefree_fit",
     "predictor_accuracy",
     "EXPERIMENTS",
+    "full_registry",
+    "run_named_experiment",
+    "run_experiment_grid",
 ]
 
 _WORKLOAD_CACHE: dict[tuple, GNNWorkload] = {}
@@ -419,14 +422,22 @@ def fig14_energy(datasets: list[str] | None = None) -> Report:
     return report
 
 
-def fig15_scheduler_predictor(dataset: str = "citation") -> Report:
-    """Figure 15: SpMM time under scheduler x predictor combinations."""
+def fig15_scheduler_predictor(
+    dataset: str = "citation", mlp: MLPPredictor | None = None
+) -> Report:
+    """Figure 15: SpMM time under scheduler x predictor combinations.
+
+    ``mlp`` accepts a pre-trained predictor so callers timing the
+    scheduler sweep (``repro bench``) can keep training out of the
+    measured region; by default one is trained here.
+    """
     workload = _workload(dataset)
     spmm_per_batch = [
         [job for job in jobs if job.kernel == "spmm"]
         for jobs in workload.jobs_per_batch
     ]
-    mlp = workload.train_predictor()
+    if mlp is None:
+        mlp = workload.train_predictor()
     predictors = [("oracle", OraclePredictor()), ("mlp", mlp)]
     report = Report(
         title=f"Figure 15 -- SpMM execution time by scheduler/predictor ({dataset})",
@@ -555,16 +566,21 @@ def fig18_multiprogramming() -> Report:
     return report
 
 
-def fig19_combo_schedulers() -> Report:
-    """Figure 19: scheduling approaches on the multiprogramming combos."""
+def fig19_combo_schedulers(combos=None) -> Report:
+    """Figure 19: scheduling approaches on the multiprogramming combos.
+
+    ``combos`` restricts the run to a subset of the Table II columns
+    (``repro bench --quick`` uses this); default is all of them.
+    """
     predictor = OraclePredictor()
     system = full_system()
+    chosen = list(combos) if combos is not None else list(COMBOS)
     report = Report(
         title="Figure 19 -- combo execution time by scheduler (ms)",
         columns=["combo", "ljf", "adaptive", "global", "global_wins"],
     )
     global_best = 0
-    for combo in COMBOS:
+    for combo in chosen:
         jobs = combo_jobs(combo, DEFAULT_SPECS)
         times = {}
         for scheduler in (
@@ -584,7 +600,7 @@ def fig19_combo_schedulers() -> Report:
             "yes" if wins else "no",
         )
     report.note(
-        f"global within 2% of best on {global_best}/{len(COMBOS)} combos "
+        f"global within 2% of best on {global_best}/{len(chosen)} combos "
         "(deterministic kernel times favour global scheduling, paper V-C)"
     )
     return report
@@ -749,6 +765,71 @@ def predictor_accuracy(dataset: str = "citation") -> Report:
     report.note("paper: R^2 0.995, RMSE ~22% of mean; GBT up to 2x better RMSE "
                 "at far higher storage cost")
     return report
+
+
+# ======================================================================
+# Parallel experiment grid
+# ======================================================================
+def full_registry() -> dict:
+    """Every runnable experiment: the figure/table registry plus the
+    ablations under ``ablation-<name>`` (the CLI's namespace)."""
+    from .ablations import ABLATIONS
+
+    registry = dict(EXPERIMENTS)
+    registry.update({f"ablation-{name}": fn for name, fn in ABLATIONS.items()})
+    return registry
+
+
+def run_named_experiment(name: str) -> Report:
+    """Resolve and run one experiment from :func:`full_registry`.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor`
+    workers can pickle it by reference.
+    """
+    registry = full_registry()
+    try:
+        runner = registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; see 'python -m repro list'"
+        ) from None
+    return runner()
+
+
+def run_experiment_grid(
+    names,
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> list[tuple[str, Report]]:
+    """Run a grid of experiments, optionally sharded across worker
+    processes, returning ``(name, Report)`` pairs in input order.
+
+    Every experiment pins its own seeds (dataset generation, sampling
+    and the noisy predictor are all explicitly seeded), and worker
+    processes never share mutable state, so the parallel output is
+    byte-identical to the serial path -- ``Report.to_json()`` of each
+    result matches regardless of ``max_workers``.  With ``parallel``
+    false, one name, or ``max_workers <= 1``, everything runs in-process
+    (which also keeps the per-process workload/knee caches warm across
+    grid entries).
+    """
+    names = list(names)
+    registry = full_registry()
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+    if (
+        not parallel
+        or len(names) <= 1
+        or (max_workers is not None and max_workers <= 1)
+    ):
+        return [(name, run_named_experiment(name)) for name in names]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        # pool.map preserves input order no matter which worker
+        # finishes first.
+        return list(zip(names, pool.map(run_named_experiment, names)))
 
 
 #: Registry used by the benchmark harness.

@@ -28,13 +28,23 @@ ReRAM serves them from its peripheral LUTs.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections import Counter
+from collections.abc import Callable, Iterable, Mapping
 
 from ..memories.base import MemoryKind
 from ..memories.dram import DRAM_STEP_FACTOR
 from .ops import Op
 
-__all__ = ["op_cycles", "native_ops", "is_native", "LoweringError"]
+__all__ = [
+    "op_cycles",
+    "batch_cycles",
+    "native_ops",
+    "is_native",
+    "LoweringError",
+    "configure_cache",
+    "cache_stats",
+    "clear_cache",
+]
 
 
 class LoweringError(ValueError):
@@ -151,6 +161,48 @@ _EXPANSIONS: dict[MemoryKind, dict[Op, list[tuple[Op, int]]]] = {
 
 _MAX_DEPTH = 8
 
+# ----------------------------------------------------------------------
+# Memoisation: op_cycles(kind, op, bits) is pure and its domain is tiny
+# (3 targets x ~25 ops x a handful of bit widths), but the compiler
+# asks for it once per DFG node, and lowering recursion re-derives the
+# same expansions on every call.  The cache is unbounded by design --
+# the key space cannot grow past |kinds| * |ops| * |bit widths in use|.
+_CACHE_ENABLED = True
+_CYCLE_CACHE: dict[tuple[MemoryKind, Op, int], float] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def configure_cache(enabled: bool) -> None:
+    """Toggle the cycle-cost memo (the ``repro bench`` baseline mode
+    disables it to measure the pre-cache lowering path)."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+
+
+def clear_cache(reset_counters: bool = True) -> None:
+    """Drop memoised cycle costs (and, by default, the counters)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _CYCLE_CACHE.clear()
+    if reset_counters:
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
+
+
+def cache_stats() -> dict[str, dict]:
+    """Hit/miss/occupancy of the cycle-cost memo (same shape as
+    :func:`repro.core.perfmodel.cache_stats`)."""
+    total = _CACHE_HITS + _CACHE_MISSES
+    return {
+        "timing.op_cycles": {
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+            "hit_rate": _CACHE_HITS / total if total else 0.0,
+            "size": len(_CYCLE_CACHE),
+            "maxsize": None,
+        }
+    }
+
 
 def native_ops(kind: MemoryKind) -> frozenset[Op]:
     """Operations with a native cost on ``kind``."""
@@ -169,18 +221,49 @@ def op_cycles(kind: MemoryKind, op: Op, bits: int = 16, _depth: int = 0) -> floa
     ``LOAD``/``STORE`` are not costed here -- data movement is priced
     by the memory-system model, not per lane.
     """
+    global _CACHE_HITS, _CACHE_MISSES
     if bits <= 0:
         raise ValueError("bits must be positive")
     if op in (Op.LOAD, Op.STORE):
         return 0.0
+    if _CACHE_ENABLED and _depth == 0:
+        cached = _CYCLE_CACHE.get((kind, op, bits))
+        if cached is not None:
+            _CACHE_HITS += 1
+            return cached
+        _CACHE_MISSES += 1
     if _depth > _MAX_DEPTH:
         raise LoweringError(f"lowering of {op} on {kind} does not terminate")
     native = _NATIVE[kind].get(op)
     if native is not None:
-        return float(native(bits))
-    expansion = _EXPANSIONS[kind].get(op)
-    if expansion is None:
-        raise LoweringError(f"{op} is not supported on {kind} and has no lowering")
-    return sum(
-        count * op_cycles(kind, sub_op, bits, _depth + 1) for sub_op, count in expansion
-    )
+        cycles = float(native(bits))
+    else:
+        expansion = _EXPANSIONS[kind].get(op)
+        if expansion is None:
+            raise LoweringError(f"{op} is not supported on {kind} and has no lowering")
+        cycles = sum(
+            count * op_cycles(kind, sub_op, bits, _depth + 1)
+            for sub_op, count in expansion
+        )
+    if _CACHE_ENABLED and _depth == 0:
+        _CYCLE_CACHE[(kind, op, bits)] = cycles
+    return cycles
+
+
+def batch_cycles(
+    kind: MemoryKind, ops: Iterable[Op] | Mapping[Op, int], bits: int = 16
+) -> float:
+    """Total cycles for a *bag* of frontend ops on one SIMD lane.
+
+    Fast path for homogeneous kernel batches: the bag is collapsed to
+    (op, count) pairs first, so each distinct op is costed exactly once
+    (one memo lookup) no matter how many times it appears.  Accepts
+    either an iterable of ops or a pre-counted ``{op: count}`` mapping.
+    """
+    items = ops.items() if isinstance(ops, Mapping) else Counter(ops).items()
+    total = 0.0
+    for op, count in items:
+        if count < 0:
+            raise ValueError(f"negative op count {count} for {op}")
+        total += count * op_cycles(kind, op, bits)
+    return total

@@ -12,7 +12,17 @@ this package makes those quantities first-class for *every* run:
 
 from .analytics import DeviceReport, RunReport, bubbles, build_report, merged_intervals
 from .decisions import DecisionLog, DispatchDecision
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, nearest_rank
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank,
+    reset_runtime_counters,
+    runtime_counter_inc,
+    runtime_counters,
+    runtime_snapshot,
+)
 from .export import result_payload, trace_rows, write_results_json, write_trace_csv
 
 __all__ = [
@@ -28,6 +38,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "nearest_rank",
+    "reset_runtime_counters",
+    "runtime_counter_inc",
+    "runtime_counters",
+    "runtime_snapshot",
     "result_payload",
     "trace_rows",
     "write_results_json",

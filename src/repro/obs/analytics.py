@@ -7,6 +7,22 @@ global one (Section III-C5).  This module derives all of them from an
 :class:`~repro.sim.trace.ExecutionTrace` and packages the result as a
 :class:`RunReport`, reachable from any run via
 :meth:`repro.core.dispatcher.DispatchResult.report`.
+
+Usage::
+
+    result = runtime.run()
+    report = result.report()          # RunReport (str() renders the table)
+    print(report)
+
+    sram = report.devices["sram"]     # one DeviceReport per device
+    sram.utilisation                  # busy fraction of the makespan
+    sram.bubble_count                 # scheduling gaps (Section III-C5)
+    sram.phase_seconds["fill"]        # fill / replicate / compute split
+    report.as_dict()                  # JSON-ready form
+
+    # or derive it directly from a DispatchResult:
+    from repro.obs import build_report
+    report = build_report(result)
 """
 
 from __future__ import annotations

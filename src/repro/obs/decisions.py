@@ -11,6 +11,18 @@ allocation, the total time the scheduler's estimate
 allocation, and -- once the job finishes -- the actual latency from
 the :class:`~repro.core.dispatcher.JobRecord`.  Predictor error then
 falls out as a per-run metric via :meth:`DecisionLog.error_summary`.
+
+Usage::
+
+    result = runtime.run()
+    log = result.decisions
+    log.error_summary()         # {"count": ..., "mean_abs_rel_error": ...,
+                                #  "p50_abs_rel_error": ..., "p90_abs_rel_error": ...}
+    worst = max(log, key=lambda d: abs(d.relative_error or 0.0))
+    print(worst.job_id, worst.device, worst.predicted_time, worst.actual_time)
+
+    # Slice by device to see where the predictor struggles:
+    reram = [d for d in log if d.device == "reram"]
 """
 
 from __future__ import annotations

@@ -7,6 +7,21 @@ the flat per-phase timeline for spreadsheet/Perfetto-style analysis.
 Both accept a single :class:`~repro.core.dispatcher.DispatchResult`
 or a list of them (multi-batch runs), tagging each row with its run
 index.
+
+Usage::
+
+    from repro.obs import write_results_json, write_trace_csv
+
+    result = runtime.run()
+    write_results_json(result, "runs.json")   # report + timeline + decisions
+    write_trace_csv(result, "trace.csv")      # run,job_id,device,phase,start,...
+
+    # Multi-batch: pass the list; rows carry their run index.
+    write_results_json(summary.results, "epoch.json")
+
+The same artifacts are available from the CLI::
+
+    python -m repro trace collab --json runs.json --csv trace.csv
 """
 
 from __future__ import annotations

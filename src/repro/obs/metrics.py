@@ -11,6 +11,28 @@ derived after the run without any periodic sampling thread.
 Everything is plain Python with no locking: the simulation is
 single-threaded and deterministic, and a registry belongs to exactly
 one :meth:`~repro.core.dispatcher.Dispatcher.run` call.
+
+Usage::
+
+    result = Dispatcher(system).run(policy)        # fills result.metrics
+    result.metrics.counters["jobs.dispatched"].value
+    result.metrics.gauges["sram.slots_in_use"].time_weighted_mean(result.makespan)
+    result.metrics.snapshot()                      # JSON-ready dict
+
+Besides per-run registries, the module keeps *process-global runtime
+counters* -- totals that outlive any single run, e.g. simulator events
+executed across a whole benchmark suite.  The dispatcher feeds
+``sim.events`` / ``sim.runs``; :func:`runtime_snapshot` combines them
+with the perf-layer cache hit-rates (``repro.core.perfmodel`` and
+``repro.isa.timing``), which is what ``python -m repro bench`` records
+into ``BENCH_<date>.json``::
+
+    from repro.obs.metrics import reset_runtime_counters, runtime_snapshot
+    reset_runtime_counters()
+    ... run experiments ...
+    snap = runtime_snapshot()
+    snap["counters"]["sim.events"]            # events executed since reset
+    snap["caches"]["perfmodel.knee"]["hit_rate"]
 """
 
 from __future__ import annotations
@@ -18,7 +40,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "nearest_rank"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "nearest_rank",
+    "runtime_counter_inc",
+    "runtime_counters",
+    "reset_runtime_counters",
+    "runtime_snapshot",
+]
 
 
 def nearest_rank(sorted_values: list[float], quantile: float) -> float:
@@ -181,3 +213,46 @@ class MetricsRegistry:
                 for name, h in sorted(self.histograms.items())
             },
         }
+
+
+# ======================================================================
+# Process-global runtime counters
+# ======================================================================
+# Totals that span runs (a per-run MetricsRegistry dies with its
+# DispatchResult).  Per-process like everything else here: parallel
+# experiment workers each accumulate their own counters.
+_RUNTIME_COUNTERS: dict[str, float] = {}
+
+
+def runtime_counter_inc(name: str, amount: float = 1.0) -> None:
+    """Increment a process-global counter (e.g. ``"sim.events"``)."""
+    if amount < 0:
+        raise ValueError("counters only increase")
+    _RUNTIME_COUNTERS[name] = _RUNTIME_COUNTERS.get(name, 0.0) + amount
+
+
+def runtime_counters() -> dict[str, float]:
+    """Copy of the process-global counters."""
+    return dict(_RUNTIME_COUNTERS)
+
+
+def reset_runtime_counters() -> None:
+    """Zero the process-global counters (start of a bench interval)."""
+    _RUNTIME_COUNTERS.clear()
+
+
+def runtime_snapshot() -> dict:
+    """Global counters plus the perf-layer cache statistics.
+
+    The cache stats are pulled lazily from ``repro.core.perfmodel``
+    and ``repro.isa.timing`` so this module stays import-light (the
+    dispatcher imports ``repro.obs`` -- a module-level import back
+    into ``repro.core`` would be circular).
+    """
+    from ..core import perfmodel
+    from ..isa import timing
+
+    caches = {}
+    caches.update(perfmodel.cache_stats())
+    caches.update(timing.cache_stats())
+    return {"counters": runtime_counters(), "caches": caches}

@@ -6,6 +6,15 @@ computing" (Section IV).  This engine is the equivalent core: a
 time-ordered event queue with deterministic tie-breaking, on top of
 which the dispatcher (:mod:`repro.core.dispatcher`) models device
 occupancy, job queues and shared-bandwidth transfers.
+
+The hot loop is written for throughput: :meth:`Simulator.run` drains
+every event sharing a timestamp in one chunk (one heap-top comparison
+per event instead of a full Python loop iteration of bookkeeping),
+cancellation is tombstone-based with an O(1) active-event counter, and
+the heap is compacted in bulk only when tombstones dominate it
+(processor-sharing pipes cancel and reschedule completions on every
+membership change, so tombstones are the common case, not the
+exception).
 """
 
 from __future__ import annotations
@@ -22,6 +31,13 @@ class SimulationError(RuntimeError):
     """Raised for invalid simulator usage (e.g. scheduling in the past)."""
 
 
+#: Compact the heap once it holds this many tombstones *and* they are
+#: the majority of the queue.  Small enough to bound memory on
+#: cancellation-heavy runs, large enough that compaction cost (O(n))
+#: amortises over many pops.
+_COMPACT_MIN_TOMBSTONES = 64
+
+
 class Simulator:
     """Deterministic event loop.
 
@@ -35,6 +51,8 @@ class Simulator:
         self._seq = 0
         self._queue: list[Event] = []
         self._processed = 0
+        self._active = 0
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     @property
@@ -44,8 +62,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled ones not yet popped)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Events scheduled and not yet executed or cancelled (O(1))."""
+        return self._active
 
     @property
     def processed(self) -> int:
@@ -60,7 +78,8 @@ class Simulator:
         event = Event(time=time, seq=self._seq, callback=callback, args=args)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._active += 1
+        return EventHandle(event, self)
 
     def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
@@ -68,25 +87,73 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self._now + delay, callback, *args)
 
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`: keep the O(1) pending
+        count exact and remember the tombstone for compaction."""
+        self._active -= 1
+        self._tombstones += 1
+
+    def _compact(self) -> None:
+        """Drop every tombstone and re-heapify in one pass.
+
+        Only called between chunks (no popped-but-unexecuted events in
+        flight), where the tombstone count is exact.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events until the queue empties or the horizon passes.
 
         Returns the final simulation time.  ``max_events`` is a
         runaway guard for tests.
+
+        Ready events are drained in same-timestamp chunks: the chunk
+        is popped off the heap in one burst, then executed in seq
+        order.  A callback may cancel a later member of its own chunk,
+        so each event re-checks its tombstone immediately before
+        firing; events a callback *schedules* at the current timestamp
+        form the next chunk (they carry higher seq numbers, so
+        ordering is unchanged from the one-at-a-time loop).
         """
-        while self._queue:
-            if max_events is not None and self._processed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        chunk: list[Event] = []
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                heapq.heappop(queue)
+                self._tombstones -= 1
                 continue
-            if until is not None and event.time > until:
-                heapq.heappush(self._queue, event)
+            if until is not None and head.time > until:
                 self._now = until
                 return self._now
-            self._now = event.time
-            self._processed += 1
-            event.callback(*event.args)
+            chunk_time = head.time
+            del chunk[:]
+            while queue and queue[0].time == chunk_time:
+                event = heapq.heappop(queue)
+                if event.cancelled:
+                    self._tombstones -= 1
+                    continue
+                chunk.append(event)
+            self._now = chunk_time
+            for event in chunk:
+                if event.cancelled:
+                    # Cancelled by an earlier callback in this chunk.
+                    self._tombstones -= 1
+                    continue
+                if max_events is not None and self._processed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                event.executed = True
+                self._processed += 1
+                self._active -= 1
+                event.callback(*event.args)
+            if (
+                self._tombstones >= _COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 > len(queue)
+            ):
+                self._compact()
+                queue = self._queue
         if until is not None:
             self._now = max(self._now, until)
         return self._now
@@ -96,9 +163,12 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
+            event.executed = True
             self._processed += 1
+            self._active -= 1
             event.callback(*event.args)
             return True
         return False

@@ -13,7 +13,11 @@ class Event:
     """One scheduled callback.
 
     Ordering is (time, seq): ties break in scheduling order so the
-    simulation is deterministic.
+    simulation is deterministic.  ``cancelled`` events stay in the
+    heap as *tombstones* and are discarded lazily when popped (or in
+    bulk when the owning simulator compacts its queue); ``executed``
+    marks events that already fired, so a late ``cancel()`` cannot
+    corrupt the simulator's pending-event accounting.
     """
 
     time: float
@@ -21,16 +25,32 @@ class Event:
     callback: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    executed: bool = field(compare=False, default=False)
 
 
 @dataclass(frozen=True)
 class EventHandle:
-    """Opaque handle allowing an event to be cancelled."""
+    """Opaque handle allowing an event to be cancelled.
+
+    Cancellation is tombstone-based: the event is only flagged, never
+    searched for in the heap (O(1) instead of O(n)); the simulator is
+    notified so its O(1) pending count stays exact and it can compact
+    the queue when tombstones pile up (processor-sharing transfers
+    cancel and reschedule their completion on every membership change).
+    """
 
     _event: Event
+    _owner: Any = None
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        """Cancel the event; a no-op if it already fired or was
+        already cancelled."""
+        event = self._event
+        if event.cancelled or event.executed:
+            return
+        event.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -38,4 +58,5 @@ class EventHandle:
 
     @property
     def active(self) -> bool:
-        return not self._event.cancelled
+        """True while the event is still going to fire."""
+        return not (self._event.cancelled or self._event.executed)

@@ -191,3 +191,24 @@ class TestFitBeta:
             fit_beta([1, 2], [1.0, -1.0])
         with pytest.raises(ValueError):
             fit_beta([1, 2], [1.0])
+
+    def test_duplicate_allocations_rejected(self):
+        """All points at one allocation: the log-log line is
+        underdetermined even though there are 'enough' samples."""
+        with pytest.raises(ValueError, match="distinct allocations"):
+            fit_beta([4, 4, 4], [1.0, 1.1, 0.9])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_beta([1, 2], [1.0, float("nan")])
+        with pytest.raises(ValueError, match="finite"):
+            fit_beta([1, float("inf")], [1.0, 2.0])
+
+    def test_shape_mismatch_message_names_shapes(self):
+        with pytest.raises(ValueError, match=r"\(3,\) and \(2,\)"):
+            fit_beta([1, 2, 3], [1.0, 2.0])
+
+    def test_two_distinct_points_suffice(self):
+        beta, r2 = fit_beta([2, 4], [1.0, 2.0 ** -0.7])
+        assert beta == pytest.approx(0.7, abs=1e-9)
+        assert r2 == pytest.approx(1.0)

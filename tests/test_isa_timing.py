@@ -101,3 +101,78 @@ def test_dram_bulk_bitwise_is_cheap_relative_to_its_arithmetic():
     bitwise = op_cycles(MemoryKind.DRAM, Op.AND)
     mul = op_cycles(MemoryKind.DRAM, Op.MUL)
     assert mul / bitwise > 20
+
+
+class TestCycleCache:
+    """The ``op_cycles`` memo must be a pure speedup: identical
+    results cached, uncached and disabled."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.isa import timing
+
+        timing.configure_cache(True)
+        timing.clear_cache()
+        yield
+        timing.configure_cache(True)
+        timing.clear_cache()
+
+    def test_cached_values_match_uncached(self):
+        from repro.isa import timing
+
+        probes = [
+            (MemoryKind.SRAM, Op.MUL, 16),
+            (MemoryKind.DRAM, Op.ADD, 16),
+            (MemoryKind.RERAM, Op.MAC, 16),
+            (MemoryKind.SRAM, Op.MAX, 8),
+        ]
+        cached = [op_cycles(kind, op, bits) for kind, op, bits in probes]
+        timing.configure_cache(False)
+        uncached = [op_cycles(kind, op, bits) for kind, op, bits in probes]
+        assert cached == uncached
+
+    def test_hit_miss_accounting(self):
+        from repro.isa import timing
+
+        op_cycles(MemoryKind.SRAM, Op.MUL, 16)
+        op_cycles(MemoryKind.SRAM, Op.MUL, 16)
+        op_cycles(MemoryKind.SRAM, Op.ADD, 16)
+        stats = timing.cache_stats()["timing.op_cycles"]
+        assert stats["misses"] == 2
+        assert stats["hits"] == 1
+        assert stats["size"] == 2
+        timing.clear_cache()
+        stats = timing.cache_stats()["timing.op_cycles"]
+        assert stats["size"] == 0 and stats["hits"] == 0
+
+    def test_disabled_cache_stores_nothing(self):
+        from repro.isa import timing
+
+        timing.configure_cache(False)
+        op_cycles(MemoryKind.SRAM, Op.MUL, 16)
+        assert timing.cache_stats()["timing.op_cycles"]["size"] == 0
+
+
+class TestBatchCycles:
+    def test_iterable_matches_scalar_sum(self):
+        from repro.isa.timing import batch_cycles
+
+        ops = [Op.ADD] * 5 + [Op.MUL] * 3
+        expected = 5 * op_cycles(MemoryKind.SRAM, Op.ADD, 16) + 3 * op_cycles(
+            MemoryKind.SRAM, Op.MUL, 16
+        )
+        assert batch_cycles(MemoryKind.SRAM, ops) == expected
+
+    def test_mapping_form(self):
+        from repro.isa.timing import batch_cycles
+
+        bag = {Op.ADD: 5, Op.MUL: 3}
+        assert batch_cycles(MemoryKind.SRAM, bag) == batch_cycles(
+            MemoryKind.SRAM, [Op.ADD] * 5 + [Op.MUL] * 3
+        )
+
+    def test_negative_count_rejected(self):
+        from repro.isa.timing import batch_cycles
+
+        with pytest.raises(ValueError):
+            batch_cycles(MemoryKind.SRAM, {Op.ADD: -1})
