@@ -13,13 +13,27 @@ Subpackages
 ``repro.gnn``        graphs, OGB analogs, sampler, GCN job streams
 ``repro.apps``       Table II data-parallel applications and combos
 ``repro.core``       jobs, Eq. 1-3 model, predictors, schedulers, runtime
+``repro.faults``     fault plans, injector, graceful degradation
 ``repro.obs``        metrics, decision log, trace analytics, exporters
 ``repro.ml``         from-scratch MLP and gradient-boosted trees
 ``repro.baselines``  Xeon / Titan XP roofline models
 ``repro.harness``    per-figure experiment runners and ablations
 """
 
-from . import apps, baselines, core, gnn, harness, isa, kernels, memories, ml, obs, sim
+from . import (
+    apps,
+    baselines,
+    core,
+    faults,
+    gnn,
+    harness,
+    isa,
+    kernels,
+    memories,
+    ml,
+    obs,
+    sim,
+)
 from .core import (
     AdaptiveScheduler,
     Dispatcher,
@@ -33,6 +47,7 @@ from .core import (
     OraclePredictor,
     oracle_makespan,
 )
+from .faults import FaultEvent, FaultKind, FaultPlan, RetryPolicy
 from .memories import DEFAULT_SPECS, MemoryKind, MemorySpec
 
 __version__ = "1.0.0"
@@ -41,6 +56,7 @@ __all__ = [
     "apps",
     "baselines",
     "core",
+    "faults",
     "gnn",
     "harness",
     "isa",
@@ -60,6 +76,10 @@ __all__ = [
     "NoisyPredictor",
     "OraclePredictor",
     "oracle_makespan",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
     "DEFAULT_SPECS",
     "MemoryKind",
     "MemorySpec",

@@ -46,8 +46,29 @@ def cmd_specs() -> int:
     return 0
 
 
+def cmd_fault_demo(args: argparse.Namespace) -> int:
+    """Run one combo under a fault plan and print its degraded report."""
+    from .harness.faultdemo import run_fault_demo
+
+    result = run_fault_demo(
+        args.faults, scheduler=args.scheduler, combo=args.combo
+    )
+    print(result.report())
+    if result.failed_jobs:
+        print(
+            f"{len(result.failed_jobs)} jobs failed under the plan",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_run(names: list[str], parallel: int | None = None) -> int:
     registry = _registry()
+    if not names:
+        print("run needs experiment names (or --faults PLAN)", file=sys.stderr)
+        print("use 'python -m repro list'", file=sys.stderr)
+        return 2
     if names == ["all"]:
         names = list(registry)
     unknown = [name for name in names if name not in registry]
@@ -175,8 +196,30 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("specs", help="print the Table III device summary")
-    run = sub.add_parser("run", help="run experiments by name (or 'all')")
-    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run = sub.add_parser(
+        "run",
+        help="run experiments by name (or 'all'), or --faults PLAN "
+        "for a fault-injection demo",
+    )
+    run.add_argument("names", nargs="*", help="experiment names, or 'all'")
+    run.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="run a combo under the JSON fault plan and print the "
+        "degraded-mode report (no experiment names needed)",
+    )
+    run.add_argument(
+        "--scheduler",
+        choices=["ljf", "adaptive", "global"],
+        default="adaptive",
+        help="scheduler for the --faults demo (default: adaptive)",
+    )
+    run.add_argument(
+        "--combo",
+        default="A",
+        help="multiprogramming combo for the --faults demo (default: A)",
+    )
     run.add_argument(
         "--parallel",
         "-j",
@@ -247,6 +290,15 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.faults is not None:
+        if args.names:
+            print(
+                "--faults runs the fault demo; experiment names are not "
+                "combinable with it",
+                file=sys.stderr,
+            )
+            return 2
+        return cmd_fault_demo(args)
     return cmd_run(args.names, parallel=args.parallel)
 
 

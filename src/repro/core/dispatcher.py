@@ -20,11 +20,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultEvent, FaultKind, FaultPlan
 from ..memories.allocator import Allocation, ScratchpadAllocator
 from ..memories.base import MemoryKind
 from ..obs.analytics import RunReport, build_report
 from ..obs.decisions import DecisionLog
-from ..obs.metrics import MetricsRegistry, runtime_counter_inc
+from ..obs.metrics import MetricsRegistry, runtime_counter_inc, runtime_state_set
 from ..sim.energy import EnergyCategory, EnergyLedger
 from ..sim.engine import Simulator
 from ..sim.mainmem import DDR4Config, SharedBandwidthPipe
@@ -41,7 +43,13 @@ class DispatchError(RuntimeError):
 
 @dataclass
 class JobRecord:
-    """Lifecycle timestamps of one executed job."""
+    """Lifecycle timestamps of one executed job.
+
+    Under fault injection a job may run more than once (stall-aborted
+    retries, migration off a failed device); the timestamps describe
+    the **final, successful** attempt and ``attempts`` counts how many
+    launches it took.
+    """
 
     job_id: str
     kind: MemoryKind
@@ -50,6 +58,7 @@ class JobRecord:
     fill_done_at: float = 0.0
     replicate_done_at: float = 0.0
     finished_at: float = 0.0
+    attempts: int = 1
 
     @property
     def latency(self) -> float:
@@ -73,6 +82,15 @@ class DispatchResult:
     scheduler_name: str = ""
     metrics: MetricsRegistry | None = None
     decisions: DecisionLog | None = None
+    #: Jobs the degraded run could not complete (job_id -> reason);
+    #: always empty without a fault plan.
+    failed_jobs: dict[str, str] = field(default_factory=dict)
+    #: ``FaultInjector.summary()`` of the run, or None when no fault
+    #: plan was active.
+    fault_summary: dict | None = None
+    #: Makespan of the same batch without faults, when the caller ran
+    #: the baseline (``MLIMPRuntime.run(..., fault_baseline=True)``).
+    fault_free_makespan: float | None = None
 
     def jobs_on(self, kind: MemoryKind) -> list[JobRecord]:
         return [r for r in self.records.values() if r.kind is kind]
@@ -109,6 +127,30 @@ class _Device:
     running: int = 0
 
 
+@dataclass
+class _Flight:
+    """Fault-mode bookkeeping for one job's current launch attempt.
+
+    Phase events scheduled for an attempt capture ``attempt`` and only
+    act while the flight is still ``active`` on that attempt number --
+    aborting a job is a pure state flip, no event cancellation, so a
+    run with an **empty** fault plan schedules exactly the events a
+    fault-free run does.
+    """
+
+    dispatch: Dispatch
+    attempt: int = 0
+    active: bool = False
+    parked: bool = False
+    done: bool = False
+    pending_retry: bool = False
+    #: Ownership went back to the policy (``device_lost`` absorbed the
+    #: job); the dispatcher's stale retry paths must stand down until
+    #: the policy re-emits it through ``next_dispatches``.
+    with_policy: bool = False
+    allocation: Allocation | None = None
+
+
 #: Runtime cost of launching one in-memory job (scheduler decision +
 #: firmware kernel launch; "similar to the kernel launch for CUDA
 #: runtime", paper III-A).
@@ -131,7 +173,24 @@ class Dispatcher:
         self.dispatch_overhead_s = dispatch_overhead_s
 
     # ------------------------------------------------------------------
-    def run(self, policy: DispatchPolicy, label: str = "") -> DispatchResult:
+    def run(
+        self,
+        policy: DispatchPolicy,
+        label: str = "",
+        faults: FaultPlan | None = None,
+    ) -> DispatchResult:
+        """Execute one batch under ``policy``.
+
+        With a non-empty ``faults`` plan the run degrades gracefully:
+        stalled devices abort their in-flight jobs and retry them with
+        exponential backoff, derated devices stretch device-timed phase
+        durations, and failed devices hand their in-flight and parked
+        work to the policy's ``device_lost`` hook (falling back to a
+        profile-driven re-queue, then to ``failed_jobs``).  Energy
+        charged to aborted attempts stays charged -- wasted work is
+        real work.  With ``faults`` None or empty, the run takes
+        exactly the fault-free code path (byte-identical traces).
+        """
         sim = Simulator()
         pipe = SharedBandwidthPipe(sim, self.ddr4)
         trace = ExecutionTrace()
@@ -141,6 +200,16 @@ class Dispatcher:
             kind: _Device(allocator=ScratchpadAllocator(spec))
             for kind, spec in self.system.specs.items()
         }
+
+        # Fault state: only materialised for a non-empty plan, so the
+        # common path stays untouched.
+        injector: FaultInjector | None = None
+        if faults is not None and len(faults) > 0:
+            injector = FaultInjector(faults, list(devices))
+        flights: dict[str, _Flight] = {}
+        parked: dict[MemoryKind, list[_Flight]] = {kind: [] for kind in devices}
+        failed_jobs: dict[str, str] = {}
+        backoffs_pending = 0
 
         # Observability: metric gauges track device occupancy and the
         # shared-pipe load over time; the decision log pairs every
@@ -169,22 +238,236 @@ class Dispatcher:
                 metrics.gauge(f"queue_depth.{queue_name}").set(sim.now, depth)
 
         def view() -> ResourceView:
+            free_slots = {
+                kind: self.system.slots(kind) - dev.running
+                for kind, dev in devices.items()
+            }
+            free_arrays = {
+                kind: dev.allocator.free_arrays for kind, dev in devices.items()
+            }
+            largest_free_run = {
+                kind: dev.allocator.largest_free_run
+                for kind, dev in devices.items()
+            }
+            if injector is not None:
+                # Dead and stalled devices accept no launches: hide
+                # their capacity so policies route around them.
+                for kind, health in injector.health.items():
+                    if not health.usable(sim.now):
+                        free_slots[kind] = 0
+                        free_arrays[kind] = 0
+                        largest_free_run[kind] = 0
             return ResourceView(
                 now=sim.now,
-                free_slots={
-                    kind: self.system.slots(kind) - dev.running
-                    for kind, dev in devices.items()
-                },
-                free_arrays={
-                    kind: dev.allocator.free_arrays for kind, dev in devices.items()
-                },
-                largest_free_run={
-                    kind: dev.allocator.largest_free_run
-                    for kind, dev in devices.items()
-                },
+                free_slots=free_slots,
+                free_arrays=free_arrays,
+                largest_free_run=largest_free_run,
             )
 
-        def launch(dispatch: Dispatch) -> None:
+        # -- fault machinery (no-ops without an injector) ---------------
+        def park(flight: _Flight) -> None:
+            flight.parked = True
+            parked[flight.dispatch.kind].append(flight)
+
+        def drain_parked(kind: MemoryKind) -> None:
+            """Launch parked jobs while the device has room again."""
+            queue = parked[kind]
+            if not queue or not injector.health[kind].usable(sim.now):
+                return
+            device = devices[kind]
+            slots = self.system.slots(kind)
+            for flight in list(queue):
+                if device.running >= slots:
+                    break
+                if device.allocator.largest_free_run < flight.dispatch.arrays:
+                    continue
+                queue.remove(flight)
+                flight.parked = False
+                launch(flight.dispatch, requeued=True)
+
+        def abort_flight(flight: _Flight) -> None:
+            """Release the device; the attempt's stale events no-op."""
+            if not flight.active:
+                return
+            flight.active = False
+            kind = flight.dispatch.kind
+            device = devices[kind]
+            if flight.allocation is not None:
+                device.allocator.free(flight.allocation)
+                flight.allocation = None
+            device.running -= 1
+            slot_gauges[kind].set(sim.now, device.running)
+            array_gauges[kind].set(sim.now, device.allocator.used_arrays)
+
+        def fail_job(flight: _Flight, reason: str) -> None:
+            abort_flight(flight)
+            flight.done = True
+            flight.pending_retry = False
+            job_id = flight.dispatch.job.job_id
+            records.pop(job_id, None)
+            failed_jobs[job_id] = reason
+            metrics.counter("jobs.failed").inc()
+            runtime_counter_inc("jobs.failed")
+
+        def requeue_elsewhere(flight: _Flight, reason: str) -> None:
+            """Fallback migration: park the job on the surviving device
+            with the most free arrays (profile-driven fair-share
+            sizing), or report it failed if none fits."""
+            flight.pending_retry = False
+            job = flight.dispatch.job
+            source = flight.dispatch.kind
+            best_kind: MemoryKind | None = None
+            best_free = -1
+            for cand, dev in devices.items():
+                if not injector.health[cand].alive or cand not in job.profiles:
+                    continue
+                if job.profile(cand).unit_arrays > self.system.arrays(cand):
+                    continue
+                free = dev.allocator.free_arrays
+                if free > best_free:
+                    best_free, best_kind = free, cand
+            if best_kind is None:
+                fail_job(flight, f"{reason}; no surviving device fits")
+                return
+            arrays = min(
+                max(
+                    self.system.fair_share(best_kind),
+                    job.profile(best_kind).unit_arrays,
+                ),
+                self.system.arrays(best_kind),
+            )
+            flight.dispatch = Dispatch(job=job, kind=best_kind, arrays=arrays)
+            metrics.counter("jobs.requeued").inc()
+            metrics.counter(f"jobs.requeued.{source.value}").inc()
+            runtime_counter_inc("jobs.requeued")
+            park(flight)
+            drain_parked(best_kind)
+
+        def retry_attempt(
+            flight: _Flight, next_backoff: float, attempts: int
+        ) -> None:
+            nonlocal backoffs_pending
+            backoffs_pending -= 1
+            if flight.done or flight.active or flight.parked or flight.with_policy:
+                return  # already resolved by another path
+            kind = flight.dispatch.kind
+            health = injector.health[kind]
+            if not health.alive:
+                requeue_elsewhere(flight, f"{kind.value} failed during backoff")
+                return
+            if health.stalled(sim.now):
+                if attempts >= injector.retry.max_attempts:
+                    fail_job(
+                        flight,
+                        f"retry budget exhausted on stalled {kind.value}",
+                    )
+                    return
+                metrics.counter("jobs.retry_backoff").inc()
+                backoffs_pending += 1
+                sim.after(
+                    next_backoff,
+                    retry_attempt,
+                    flight,
+                    next_backoff * injector.retry.multiplier,
+                    attempts + 1,
+                )
+                return
+            launch(flight.dispatch, requeued=True)
+
+        def on_stall(event: "FaultEvent") -> None:
+            nonlocal backoffs_pending
+            kind = event.device
+            retry = injector.retry
+            for flight in [
+                f
+                for f in flights.values()
+                if f.active and f.dispatch.kind is kind
+            ]:
+                abort_flight(flight)
+                flight.pending_retry = True
+                backoffs_pending += 1
+                sim.after(
+                    retry.base_backoff_s,
+                    retry_attempt,
+                    flight,
+                    retry.base_backoff_s * retry.multiplier,
+                    1,
+                )
+            sim.at(injector.health[kind].stalled_until, stall_end, kind)
+
+        def stall_end(kind: MemoryKind) -> None:
+            health = injector.health[kind]
+            if not health.alive or health.stalled(sim.now):
+                return  # died meanwhile, or the stall was extended
+            drain_parked(kind)
+            pump()
+
+        def on_derate(event: "FaultEvent") -> None:
+            kind = event.device
+            metrics.gauge(f"faults.derate.{kind.value}").set(
+                sim.now, event.factor
+            )
+            runtime_state_set(f"faults.derate.{kind.value}", event.factor)
+            policy.device_derated(kind, event.factor, sim.now)
+            pump()
+
+        def on_fail(kind: MemoryKind, reason: str) -> None:
+            victims = [
+                f
+                for f in flights.values()
+                if not f.done
+                and f.dispatch.kind is kind
+                and (f.active or f.parked or f.pending_retry)
+            ]
+            for flight in victims:
+                abort_flight(flight)
+                if flight.parked:
+                    parked[kind].remove(flight)
+                    flight.parked = False
+                flight.pending_retry = False
+            unplaced = policy.device_lost(
+                kind, [f.dispatch.job for f in victims], sim.now
+            )
+            unplaced_ids = {job.job_id for job in unplaced}
+            for flight in victims:
+                if flight.dispatch.job.job_id in unplaced_ids:
+                    continue
+                # The policy absorbed this in-flight job onto a
+                # survivor; it will come back through next_dispatches.
+                flight.with_policy = True
+                metrics.counter("jobs.requeued").inc()
+                metrics.counter(f"jobs.requeued.{kind.value}").inc()
+                runtime_counter_inc("jobs.requeued")
+            for job in unplaced:
+                flight = flights.get(job.job_id)
+                if flight is None:
+                    # Policy-queued, never launched, and unplaceable by
+                    # the policy: carry it through the fallback.
+                    flight = _Flight(
+                        dispatch=Dispatch(job=job, kind=kind, arrays=1)
+                    )
+                    flights[job.job_id] = flight
+                requeue_elsewhere(flight, reason)
+            pump()
+
+        def fire_fault(event: "FaultEvent") -> None:
+            # Injection is counted per plan event (wear-outs when they
+            # trigger); a fault against an already-dead device is moot.
+            metrics.counter("faults.injected").inc()
+            metrics.counter(
+                f"faults.{event.device.value}.{event.kind.value}"
+            ).inc()
+            runtime_counter_inc("faults.injected")
+            if not injector.apply(event, sim.now):
+                return
+            if event.kind is FaultKind.STALL:
+                on_stall(event)
+            elif event.kind is FaultKind.DERATE:
+                on_derate(event)
+            else:
+                on_fail(event.device, event.reason or f"{event.kind.value} fault")
+
+        def launch(dispatch: Dispatch, requeued: bool = False) -> None:
             kind, job = dispatch.kind, dispatch.job
             spec = self.system.specs[kind]
             device = devices[kind]
@@ -194,6 +477,33 @@ class Dispatcher:
                     f"{job.job_id}: requested {dispatch.arrays} arrays on "
                     f"{kind} (device has {spec.num_arrays})"
                 )
+            flight: _Flight | None = None
+            if injector is not None:
+                flight = flights.get(job.job_id)
+                if flight is None:
+                    flight = _Flight(dispatch=dispatch)
+                    flights[job.job_id] = flight
+                if flight.active or flight.done:
+                    raise DispatchError(f"job {job.job_id} dispatched twice")
+                flight.with_policy = False
+                flight.dispatch = dispatch
+                health = injector.health[kind]
+                if not health.alive:
+                    # The policy raced a failure it has not absorbed:
+                    # migrate the job instead of crashing the batch.
+                    requeue_elsewhere(flight, f"{kind.value} is failed")
+                    return
+                if health.stalled(sim.now):
+                    park(flight)
+                    return
+                if requeued and (
+                    device.running >= self.system.slots(kind)
+                    or device.allocator.largest_free_run < dispatch.arrays
+                ):
+                    # A re-queued job must not crash the run on a full
+                    # device -- it waits for room instead.
+                    park(flight)
+                    return
             slots = self.system.slots(kind)
             if device.running >= slots:
                 raise DispatchError(
@@ -203,27 +513,53 @@ class Dispatcher:
                 )
             allocation = device.allocator.allocate(dispatch.arrays)
             device.running += 1
-            record = JobRecord(
-                job_id=job.job_id,
-                kind=kind,
-                arrays=dispatch.arrays,
-                dispatched_at=sim.now,
-            )
-            if job.job_id in records:
+            record = records.get(job.job_id)
+            relaunch = record is not None
+            if relaunch and flight is None:
                 raise DispatchError(f"job {job.job_id} dispatched twice")
-            records[job.job_id] = record
+            if relaunch:
+                record.kind = kind
+                record.arrays = dispatch.arrays
+                record.dispatched_at = sim.now
+                record.fill_done_at = 0.0
+                record.replicate_done_at = 0.0
+                record.attempts += 1
+            else:
+                record = JobRecord(
+                    job_id=job.job_id,
+                    kind=kind,
+                    arrays=dispatch.arrays,
+                    dispatched_at=sim.now,
+                )
+                records[job.job_id] = record
             metrics.counter("jobs.dispatched").inc()
             metrics.counter(f"{kind.value}.jobs").inc()
             slot_gauges[kind].set(sim.now, device.running)
             array_gauges[kind].set(sim.now, device.allocator.used_arrays)
-            decisions.record(
-                job_id=job.job_id,
-                device=kind.value,
-                arrays=dispatch.arrays,
-                decided_at=sim.now,
-                predicted_time=dispatch.predicted_time,
-                queue_depth=policy.pending(),
-            )
+            if not relaunch:
+                decisions.record(
+                    job_id=job.job_id,
+                    device=kind.value,
+                    arrays=dispatch.arrays,
+                    decided_at=sim.now,
+                    predicted_time=dispatch.predicted_time,
+                    queue_depth=policy.pending(),
+                )
+            if flight is not None:
+                if flight.pending_retry:
+                    flight.pending_retry = False
+                    metrics.counter("jobs.retried").inc()
+                    runtime_counter_inc("jobs.retried")
+                flight.attempt += 1
+                flight.active = True
+                flight.allocation = allocation
+            attempt = flight.attempt if flight is not None else 0
+
+            def live() -> bool:
+                """Stale events of aborted attempts must no-op."""
+                return flight is None or (
+                    flight.active and flight.attempt == attempt
+                )
 
             bytes_total = profile.fill_bytes * profile.n_iter
             ledger.add(
@@ -231,8 +567,14 @@ class Dispatcher:
                 kind.value,
                 bytes_total * spec.fill_energy_pj_per_byte * 1e-12,
             )
+            if injector is not None:
+                wear = injector.record_fill(kind, bytes_total)
+                if wear is not None:
+                    sim.after(0.0, fire_fault, wear)
 
             def after_fill() -> None:
+                if not live():
+                    return
                 record.fill_done_at = sim.now
                 trace.record(
                     job.job_id, kind.value, Phase.FILL,
@@ -247,9 +589,17 @@ class Dispatcher:
                         kind.value,
                         rep_bytes * spec.fill_energy_pj_per_byte * 1e-12,
                     )
+                if injector is not None:
+                    rep_time *= injector.time_scale(kind)
+                    if rep_bytes > 0:
+                        wear = injector.record_fill(kind, rep_bytes)
+                        if wear is not None:
+                            sim.after(0.0, fire_fault, wear)
                 sim.after(rep_time, after_replicate)
 
             def after_replicate() -> None:
+                if not live():
+                    return
                 record.replicate_done_at = sim.now
                 if sim.now > record.fill_done_at:
                     trace.record(
@@ -257,9 +607,13 @@ class Dispatcher:
                         record.fill_done_at, sim.now, dispatch.arrays,
                     )
                 compute = profile.n_iter * profile.compute_time(dispatch.arrays)
+                if injector is not None:
+                    compute *= injector.time_scale(kind)
                 sim.after(compute, finish, sim.now)
 
             def finish(compute_start: float) -> None:
+                if not live():
+                    return
                 record.finished_at = sim.now
                 trace.record(
                     job.job_id, kind.value, Phase.COMPUTE,
@@ -268,6 +622,10 @@ class Dispatcher:
                 ledger.add(
                     EnergyCategory.COMPUTE, kind.value, profile.compute_energy_j
                 )
+                if flight is not None:
+                    flight.active = False
+                    flight.done = True
+                    flight.allocation = None
                 device.allocator.free(allocation)
                 device.running -= 1
                 metrics.counter("jobs.completed").inc()
@@ -275,22 +633,38 @@ class Dispatcher:
                 array_gauges[kind].set(sim.now, device.allocator.used_arrays)
                 decisions.complete(job.job_id, record.latency)
                 policy.notify_completion(job, kind, sim.now)
+                if injector is not None:
+                    # Freed capacity goes to migrated/retried jobs first.
+                    drain_parked(kind)
                 pump()
 
             def begin_fill() -> None:
+                if not live():
+                    return
                 if kind is MemoryKind.DRAM:
                     # In-situ: data is already in main memory; the fill
                     # is an internal row-move, off the shared pipe.
-                    sim.after(spec.fill_seconds(bytes_total), after_fill)
+                    fill_time = spec.fill_seconds(bytes_total)
+                    if injector is not None:
+                        fill_time *= injector.time_scale(kind)
+                    sim.after(fill_time, after_fill)
                 else:
                     # Off-chip stream through the shared DDR4 pipe, plus
                     # device-side write overhead beyond pipe bandwidth.
+                    # (An aborted job's in-flight transfer still drains
+                    # the pipe -- the DMA stream is already committed --
+                    # but its completion callback no-ops.)
                     extra = max(
                         0.0,
                         spec.fill_seconds(bytes_total)
                         - bytes_total / self.ddr4.total_bandwidth_bps,
                     )
-                    pipe.submit(bytes_total, lambda: sim.after(extra, after_fill))
+                    if injector is not None:
+                        extra *= injector.time_scale(kind)
+                    pipe.submit(
+                        bytes_total,
+                        lambda: sim.after(extra, after_fill) if live() else None,
+                    )
 
             sim.after(self.dispatch_overhead_s, begin_fill)
 
@@ -314,15 +688,35 @@ class Dispatcher:
                 and policy.pending() > 0
                 and all(dev.running == 0 for dev in devices.values())
                 and pipe.active_transfers == 0
+                and (
+                    injector is None
+                    or (
+                        backoffs_pending == 0
+                        and not any(parked.values())
+                        and not any(
+                            h.stalled(sim.now)
+                            for h in injector.health.values()
+                        )
+                    )
+                )
             ):
                 raise DispatchError(
                     f"policy dead-locked with {policy.pending()} jobs pending"
                 )
 
         sim.after(0.0, pump)
+        if injector is not None:
+            # The plan's timed faults become first-class sim events.
+            for event in faults.timed_events():
+                sim.at(event.time, fire_fault, event)
         makespan = sim.run()
         if policy.pending() > 0:
             raise DispatchError(f"{policy.pending()} jobs never dispatched")
+        if injector is not None:
+            # Fault machinery (stall ends, backoff probes) can outlive
+            # the last completion; the makespan is the end of useful
+            # work, comparable with the fault-free run's.
+            makespan = trace.makespan
         ledger.add(EnergyCategory.OFFCHIP, "ddr4", pipe.energy_j())
         # Engine throughput: per-run counter for the snapshot, plus the
         # process-global totals `repro bench` derives events/sec from.
@@ -337,4 +731,6 @@ class Dispatcher:
             scheduler_name=label,
             metrics=metrics,
             decisions=decisions,
+            failed_jobs=failed_jobs,
+            fault_summary=injector.summary() if injector is not None else None,
         )

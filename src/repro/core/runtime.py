@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults.plan import FaultPlan
 from ..sim.mainmem import DDR4Config
 from .dispatcher import Dispatcher, DispatchError, DispatchResult
 from .job import Job
@@ -146,13 +147,35 @@ class MLIMPRuntime:
             return 0.0
         return oracle_makespan(list(self._queue), self.system)
 
-    def run(self, label: str = "") -> DispatchResult:
-        """Schedule and execute the queued jobs; clears the queue."""
+    def run(
+        self,
+        label: str = "",
+        faults: FaultPlan | None = None,
+        fault_baseline: bool = False,
+    ) -> DispatchResult:
+        """Schedule and execute the queued jobs; clears the queue.
+
+        ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` into
+        the run (device stalls, derating, wear-out, permanent failure)
+        with graceful degradation; ``fault_baseline`` additionally runs
+        the same batch fault-free first and stores its makespan on
+        ``result.fault_free_makespan`` so the report can quantify the
+        degradation.
+        """
         scheduler = self._make_scheduler()
         jobs, self._queue = self._queue, []
+        fault_free_makespan = None
+        if fault_baseline and faults is not None and len(faults) > 0:
+            baseline = Dispatcher(self.system, self.ddr4).run(
+                scheduler.plan(list(jobs), self.system),
+                label=(label or scheduler.name) + ":fault-free",
+            )
+            fault_free_makespan = baseline.makespan
         policy = scheduler.plan(jobs, self.system)
         result = Dispatcher(self.system, self.ddr4).run(
-            policy, label=label or scheduler.name
+            policy, label=label or scheduler.name, faults=faults
         )
+        if fault_free_makespan is not None:
+            result.fault_free_makespan = fault_free_makespan
         self._history.append(result)
         return result

@@ -33,6 +33,8 @@ class AdaptivePolicy(DispatchPolicy):
         self,
         queues: dict[MemoryKind, list[PlannedJob]],
         backfill: bool = True,
+        plans: dict[str, dict[MemoryKind, PlannedJob]] | None = None,
+        system: MLIMPSystem | None = None,
     ) -> None:
         # Largest estimated time first within each queue.
         self._queues = {
@@ -44,6 +46,12 @@ class AdaptivePolicy(DispatchPolicy):
         self._inflight: dict[MemoryKind, dict[str, float]] = {
             kind: {} for kind in queues
         }
+        # Per-job plans on every supported memory + the system: what
+        # the graceful-degradation hooks re-plan with (optional -- the
+        # hooks fall back to base-class behaviour without them).
+        self._plans = plans
+        self._system = system
+        self._derate: dict[MemoryKind, float] = {}
 
     def pending(self) -> int:
         return sum(len(entries) for entries in self._queues.values())
@@ -53,6 +61,76 @@ class AdaptivePolicy(DispatchPolicy):
 
     def notify_completion(self, job: Job, kind: MemoryKind, now: float) -> None:
         self._inflight.get(kind, {}).pop(job.job_id, None)
+
+    # -- graceful degradation (repro.faults) ---------------------------
+    def _scaled_time(self, entry: PlannedJob, kind: MemoryKind) -> float:
+        return entry.est_time / self._derate.get(kind, 1.0)
+
+    def _best_placement(self, job_id: str) -> PlannedJob | None:
+        """The job's fastest (derate-scaled) option on a live queue."""
+        options = [
+            (self._scaled_time(entry, kind), kind.value, entry)
+            for kind, entry in self._plans.get(job_id, {}).items()
+            if kind in self._queues
+        ]
+        if not options:
+            return None
+        return min(options)[2]
+
+    def device_lost(
+        self, kind: MemoryKind, jobs: list[Job], now: float
+    ) -> list[Job]:
+        if self._plans is None or kind not in self._queues:
+            return list(jobs)
+        orphans = self._queues.pop(kind)
+        self._inflight.pop(kind, None)
+        unplaced: list[Job] = []
+        for entry in orphans:
+            best = self._best_placement(entry.job.job_id)
+            if best is None:
+                unplaced.append(entry.job)
+            else:
+                self._queues[best.kind].append(best)
+        for job in jobs:
+            best = self._best_placement(job.job_id)
+            if best is None:
+                unplaced.append(job)
+            else:
+                self._queues[best.kind].append(best)
+        # Re-run Algorithm 1 over the survivors so the degraded system
+        # is balanced, not merely feasible.
+        if self._system is not None and self._queues:
+            alive = [k for k in self._system.kinds if k in self._queues]
+            plans = {
+                job_id: {k: e for k, e in options.items() if k in self._queues}
+                for job_id, options in self._plans.items()
+            }
+            self._queues = inter_queue_adjust(
+                self._queues, plans, self._system.subset(alive)
+            )
+        self._queues = {
+            k: sorted(entries, key=lambda e: e.est_time, reverse=True)
+            for k, entries in self._queues.items()
+        }
+        return unplaced
+
+    def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
+        self._derate[kind] = factor
+        if self._plans is None:
+            return
+        # Re-pick every queued job's best memory under the new scaling
+        # (an inter-queue migration pass with derated estimates).
+        queued = [e for entries in self._queues.values() for e in entries]
+        self._queues = {k: [] for k in self._queues}
+        for entry in queued:
+            best = self._best_placement(entry.job.job_id) or entry
+            self._queues[best.kind].append(best)
+        self._queues = {
+            k: sorted(
+                entries, key=lambda e: self._scaled_time(e, k), reverse=True
+            )
+            for k, entries in self._queues.items()
+        }
 
     # ------------------------------------------------------------------
     def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
@@ -66,18 +144,19 @@ class AdaptivePolicy(DispatchPolicy):
             remaining: list[PlannedJob] = []
             for entry in queue:
                 if free_slots.get(kind, 0) > 0 and free_run.get(kind, 0) >= entry.arrays:
+                    est_time = self._scaled_time(entry, kind)
                     dispatches.append(
                         Dispatch(
                             job=entry.job,
                             kind=kind,
                             arrays=entry.arrays,
-                            predicted_time=entry.est_time,
+                            predicted_time=est_time,
                         )
                     )
                     free_slots[kind] -= 1
                     free_run[kind] -= entry.arrays
                     self._inflight[kind][entry.job.job_id] = (
-                        view.now + entry.est_time
+                        view.now + est_time
                     )
                 else:
                     remaining.append(entry)
@@ -98,7 +177,9 @@ class AdaptivePolicy(DispatchPolicy):
                     if entry.estimate.unit_arrays > run:
                         continue
                     arrays = entry.estimate.snap_to_replica(run)
-                    est_time = entry.estimate.total_time(arrays)
+                    est_time = entry.estimate.total_time(arrays) / self._derate.get(
+                        kind, 1.0
+                    )
                     finish = view.now + est_time
                     if finish <= horizon:
                         dispatches.append(
@@ -127,11 +208,19 @@ class AdaptiveScheduler(Scheduler):
     sizing: str = "knee"
     name: str = "adaptive"
 
-    def build_queues(
+    def build_plans(
         self, jobs: list[Job], system: MLIMPSystem
-    ) -> dict[MemoryKind, list[PlannedJob]]:
+    ) -> tuple[
+        dict[MemoryKind, list[PlannedJob]],
+        dict[str, dict[MemoryKind, PlannedJob]],
+    ]:
         """Knee-size every job and queue it on its best memory, then
-        apply Algorithm 1 (shared with the global scheduler)."""
+        apply Algorithm 1 (shared with the global scheduler).
+
+        Returns ``(queues, plans)``: the balanced per-memory queues
+        plus every job's sized plan on every memory it fits -- the
+        lookup table the graceful-degradation hooks re-place jobs from.
+        """
         queues: dict[MemoryKind, list[PlannedJob]] = {k: [] for k in system.kinds}
         plans: dict[str, dict[MemoryKind, PlannedJob]] = {}
         for job in jobs:
@@ -154,7 +243,16 @@ class AdaptiveScheduler(Scheduler):
             queues[best.kind].append(best)
         if self.inter_queue:
             queues = inter_queue_adjust(queues, plans, system)
-        return queues
+        return queues, plans
+
+    def build_queues(
+        self, jobs: list[Job], system: MLIMPSystem
+    ) -> dict[MemoryKind, list[PlannedJob]]:
+        """The balanced queues alone (see :meth:`build_plans`)."""
+        return self.build_plans(jobs, system)[0]
 
     def plan(self, jobs: list[Job], system: MLIMPSystem) -> AdaptivePolicy:
-        return AdaptivePolicy(self.build_queues(jobs, system), backfill=self.backfill)
+        queues, plans = self.build_plans(jobs, system)
+        return AdaptivePolicy(
+            queues, backfill=self.backfill, plans=plans, system=system
+        )

@@ -127,6 +127,30 @@ class DispatchPolicy(abc.ABC):
         event-driven only (the default)."""
         return None
 
+    # -- graceful degradation hooks (repro.faults) ---------------------
+    def device_lost(
+        self, kind: MemoryKind, jobs: list[Job], now: float
+    ) -> list[Job]:
+        """``kind`` failed permanently at ``now``; ``jobs`` were in
+        flight or parked on it and need a new home.
+
+        A fault-aware policy absorbs what it can -- re-pointing its own
+        queued work off the dead device and re-queueing the returned
+        jobs onto survivors -- and returns the jobs it could *not*
+        place (the dispatcher then falls back to a profile-driven
+        re-queue, or reports them failed).  The default cannot absorb
+        anything.
+        """
+        return list(jobs)
+
+    def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
+        """``kind`` now runs at ``factor`` of nominal throughput.
+
+        Fault-aware policies rebalance their queues so estimates stay
+        honest; the default ignores the signal (dispatch stays correct,
+        only placement quality suffers)."""
+        return None
+
 
 class Scheduler(abc.ABC):
     """Plans a batch of jobs into a dispatch policy."""

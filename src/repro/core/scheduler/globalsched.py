@@ -131,8 +131,21 @@ class GlobalPolicy(DispatchPolicy):
     the paper ascribes to global scheduling under predictor noise.
     """
 
-    def __init__(self, schedule: list[ScheduledEntry]) -> None:
+    def __init__(
+        self,
+        schedule: list[ScheduledEntry],
+        plans: dict[str, dict[MemoryKind, PlannedJob]] | None = None,
+        system: MLIMPSystem | None = None,
+        intra_queue: bool = True,
+    ) -> None:
         self._schedule = list(schedule)
+        # Re-planning context for the graceful-degradation hooks
+        # (optional: without it the hooks fall back to the base class).
+        self._plans = plans
+        self._system = system
+        self._intra_queue = intra_queue
+        self._lost: set[MemoryKind] = set()
+        self._derate: dict[MemoryKind, float] = {}
 
     def pending(self) -> int:
         return len(self._schedule)
@@ -170,12 +183,77 @@ class GlobalPolicy(DispatchPolicy):
                     job=entry.job,
                     kind=kind,
                     arrays=entry.arrays,
-                    predicted_time=entry.est_time,
+                    predicted_time=entry.est_time / self._derate.get(kind, 1.0),
                 )
             )
             free_slots[kind] -= 1
             free_run[kind] -= entry.arrays
         return dispatches
+
+    # -- graceful degradation (repro.faults) ---------------------------
+    def device_lost(
+        self, kind: MemoryKind, jobs: list[Job], now: float
+    ) -> list[Job]:
+        """Re-plan the remaining schedule over the surviving devices.
+
+        Every unlaunched entry plus the returned in-flight jobs are
+        re-queued (dead-device work moves to each job's best surviving
+        plan), Algorithm 2 re-balances the queues, and a fresh static
+        schedule is list-scheduled from ``now``.
+        """
+        if self._plans is None or self._system is None:
+            return list(jobs)
+        self._lost.add(kind)
+        alive = [k for k in self._system.kinds if k not in self._lost]
+        if not alive:
+            self._schedule = []
+            return list(jobs)
+        subset = self._system.subset(alive)
+        queues: dict[MemoryKind, list[PlannedJob]] = {k: [] for k in alive}
+        unplaced: list[Job] = []
+
+        def place(job: Job, current: PlannedJob | None) -> None:
+            if current is not None and current.kind in queues:
+                queues[current.kind].append(current)
+                return
+            options = [
+                (entry.est_time / self._derate.get(k, 1.0), k.value, entry)
+                for k, entry in self._plans.get(job.job_id, {}).items()
+                if k in queues
+            ]
+            if not options:
+                unplaced.append(job)
+                return
+            best = min(options)[2]
+            queues[best.kind].append(best)
+
+        for scheduled in self._schedule:
+            place(scheduled.entry.job, scheduled.entry)
+        for job in jobs:
+            place(job, None)
+        if self._intra_queue:
+            queues = intra_queue_adjust(queues, subset)
+        capped = {
+            k: [e.with_arrays(min(e.arrays, subset.arrays(k))) for e in entries]
+            for k, entries in queues.items()
+        }
+        self._schedule = [
+            ScheduledEntry(planned_start=now + s.planned_start, entry=s.entry)
+            for s in build_static_schedule(capped, subset)
+        ]
+        return unplaced
+
+    def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
+        """Record the derate so predictions stay honest.
+
+        The static plan itself is *not* re-timed: executing a stale
+        plan under changed device speed is exactly the degradation
+        mode the paper ascribes to global scheduling under predictor
+        noise (V-B3), and the launch-no-earlier-than-planned policy
+        stays correct -- launches simply wait for the planned
+        resources to actually free up.
+        """
+        self._derate[kind] = factor
 
 
 @dataclass
@@ -192,7 +270,7 @@ class GlobalScheduler(Scheduler):
             predictor=self.predictor,
             allocation_cap_fraction=self.allocation_cap_fraction,
         )
-        queues = base.build_queues(jobs, system)
+        queues, plans = base.build_plans(jobs, system)
         if self.intra_queue:
             queues = intra_queue_adjust(queues, system)
         # The static plan must be feasible: cap every allocation at the
@@ -203,4 +281,9 @@ class GlobalScheduler(Scheduler):
             capped[kind] = [
                 entry.with_arrays(min(entry.arrays, cap)) for entry in entries
             ]
-        return GlobalPolicy(build_static_schedule(capped, system))
+        return GlobalPolicy(
+            build_static_schedule(capped, system),
+            plans=plans,
+            system=system,
+            intra_queue=self.intra_queue,
+        )

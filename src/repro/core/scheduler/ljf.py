@@ -32,16 +32,33 @@ class _QueuedJob:
 
 
 class LJFPolicy(DispatchPolicy):
-    """Single FIFO queue with strict head-of-line dispatch."""
+    """Single FIFO queue with strict head-of-line dispatch.
 
-    def __init__(self, queue: list[_QueuedJob]) -> None:
+    ``candidates`` (one sized :class:`_QueuedJob` per memory a job
+    fits, per job) powers the graceful-degradation hooks: when a
+    device is lost or derated the queue re-points each affected job to
+    its best surviving option.  Without candidates (legacy
+    construction) the hooks degrade to the base-class no-ops.
+    """
+
+    def __init__(
+        self,
+        queue: list[_QueuedJob],
+        candidates: dict[str, list[_QueuedJob]] | None = None,
+    ) -> None:
         self._queue = queue
+        self._candidates = candidates
+        self._lost: set[MemoryKind] = set()
+        self._derate: dict[MemoryKind, float] = {}
 
     def pending(self) -> int:
         return len(self._queue)
 
     def queue_depths(self) -> dict[str, int]:
         return {"shared": len(self._queue)}
+
+    def _effective_time(self, entry: _QueuedJob) -> float:
+        return entry.best_time / self._derate.get(entry.best_kind, 1.0)
 
     def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
         dispatches: list[Dispatch] = []
@@ -58,12 +75,65 @@ class LJFPolicy(DispatchPolicy):
                     job=head.job,
                     kind=kind,
                     arrays=head.arrays,
-                    predicted_time=head.best_time,
+                    predicted_time=self._effective_time(head),
                 )
             )
             free_slots[kind] -= 1
             free_run[kind] -= head.arrays
         return dispatches
+
+    # -- graceful degradation (repro.faults) ---------------------------
+    def _best_candidate(self, job: Job) -> _QueuedJob | None:
+        if self._candidates is None:
+            return None
+        options = [
+            entry
+            for entry in self._candidates.get(job.job_id, [])
+            if entry.best_kind not in self._lost
+        ]
+        if not options:
+            return None
+        return min(options, key=self._effective_time)
+
+    def _resort(self) -> None:
+        self._queue.sort(key=self._effective_time, reverse=True)
+
+    def device_lost(
+        self, kind: MemoryKind, jobs: list[Job], now: float
+    ) -> list[Job]:
+        if self._candidates is None:
+            return list(jobs)
+        self._lost.add(kind)
+        unplaced: list[Job] = []
+        rebuilt: list[_QueuedJob] = []
+        for entry in self._queue:
+            if entry.best_kind is not kind:
+                rebuilt.append(entry)
+                continue
+            alt = self._best_candidate(entry.job)
+            if alt is None:
+                unplaced.append(entry.job)
+            else:
+                rebuilt.append(alt)
+        for job in jobs:
+            alt = self._best_candidate(job)
+            if alt is None:
+                unplaced.append(job)
+            else:
+                rebuilt.append(alt)
+        self._queue = rebuilt
+        self._resort()
+        return unplaced
+
+    def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
+        self._derate[kind] = factor
+        if self._candidates is None:
+            return
+        # Re-pick each queued job's best memory under the new scaling.
+        self._queue = [
+            self._best_candidate(entry.job) or entry for entry in self._queue
+        ]
+        self._resort()
 
 
 @dataclass
@@ -77,10 +147,9 @@ class LJFScheduler(Scheduler):
         if not jobs:
             return LJFPolicy([])
         entries: list[_QueuedJob] = []
+        candidates: dict[str, list[_QueuedJob]] = {}
         for job in jobs:
-            best_kind: MemoryKind | None = None
-            best_time = float("inf")
-            best_arrays = 1
+            options: list[_QueuedJob] = []
             for kind in system.kinds:
                 if kind not in job.profiles:
                     continue
@@ -89,16 +158,18 @@ class LJFScheduler(Scheduler):
                     continue  # one replica does not even fit this device
                 arrays = max(system.fair_share(kind), estimate.unit_arrays)
                 arrays = min(arrays, system.arrays(kind))
-                t = estimate.total_time(arrays)
-                if t < best_time:
-                    best_kind, best_time, best_arrays = kind, t, arrays
-            if best_kind is None:
-                raise ValueError(f"job {job.job_id} fits no memory in the system")
-            entries.append(
-                _QueuedJob(
-                    job=job, best_kind=best_kind, best_time=best_time, arrays=best_arrays
+                options.append(
+                    _QueuedJob(
+                        job=job,
+                        best_kind=kind,
+                        best_time=estimate.total_time(arrays),
+                        arrays=arrays,
+                    )
                 )
-            )
+            if not options:
+                raise ValueError(f"job {job.job_id} fits no memory in the system")
+            candidates[job.job_id] = options
+            entries.append(min(options, key=lambda entry: entry.best_time))
         # Longest (shortest-execution-time metric) first.
         entries.sort(key=lambda entry: entry.best_time, reverse=True)
-        return LJFPolicy(entries)
+        return LJFPolicy(entries, candidates=candidates)

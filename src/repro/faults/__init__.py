@@ -1,0 +1,26 @@
+"""Fault injection & graceful degradation for MLIMP runs.
+
+``repro.faults.plan``      FaultKind / FaultEvent / RetryPolicy / FaultPlan
+``repro.faults.injector``  DeviceHealth + per-run FaultInjector state
+
+A :class:`FaultPlan` (JSON- and seed-drivable) injects device stalls,
+throughput derating, endurance wear-out and permanent failures into a
+dispatch run as first-class sim events; the dispatcher and schedulers
+degrade gracefully (retry with exponential backoff, re-queue onto
+surviving devices) instead of crashing the batch.  See the README's
+"Fault injection & degraded mode" section and
+``tests/test_properties_faults.py`` for the invariants this subsystem
+guarantees.
+"""
+
+from .injector import DeviceHealth, FaultInjector
+from .plan import FaultEvent, FaultKind, FaultPlan, RetryPolicy
+
+__all__ = [
+    "DeviceHealth",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+]

@@ -1,0 +1,132 @@
+"""Per-run fault state: device health, wear watching, fired faults.
+
+The :class:`FaultInjector` is the dispatcher's view of a
+:class:`~repro.faults.plan.FaultPlan` while a run executes.  It owns
+no simulator events itself -- the dispatcher schedules the plan's
+timed events and calls :meth:`apply` when one fires -- but it is the
+single source of truth for device health (alive / derated / stalled),
+for traffic-triggered wear-out thresholds, and for the end-of-run
+fault summary attached to the
+:class:`~repro.core.dispatcher.DispatchResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memories.base import MemoryKind
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["DeviceHealth", "FaultInjector"]
+
+
+@dataclass
+class DeviceHealth:
+    """Mutable runtime health of one memory device."""
+
+    alive: bool = True
+    derate: float = 1.0
+    stalled_until: float = 0.0
+    failed_at: float | None = None
+    reason: str = ""
+    fill_bytes: float = 0.0
+
+    def stalled(self, now: float) -> bool:
+        return self.alive and now < self.stalled_until
+
+    def usable(self, now: float) -> bool:
+        """Can the device accept a launch right now?"""
+        return self.alive and not self.stalled(now)
+
+    @property
+    def time_scale(self) -> float:
+        """Multiplier on device-timed phase durations (>= 1)."""
+        return 1.0 / self.derate
+
+    def as_dict(self) -> dict:
+        return {
+            "alive": self.alive,
+            "derate": self.derate,
+            "stalled_until": self.stalled_until,
+            "failed_at": self.failed_at,
+            "reason": self.reason,
+        }
+
+
+class FaultInjector:
+    """Health/wear bookkeeping for one dispatch run under a plan."""
+
+    def __init__(self, plan: FaultPlan, kinds: list[MemoryKind]) -> None:
+        self.plan = plan
+        self.retry = plan.retry
+        self.health: dict[MemoryKind, DeviceHealth] = {
+            kind: DeviceHealth() for kind in kinds
+        }
+        # Wear-out thresholds are armed per device; the cheapest
+        # threshold fires first and a dead device cannot wear out twice.
+        self._wear_watch: dict[MemoryKind, list[FaultEvent]] = {}
+        for event in plan.wear_events():
+            self._wear_watch.setdefault(event.device, []).append(event)
+        for events in self._wear_watch.values():
+            events.sort(key=lambda e: e.threshold_bytes)
+        self.fired: list[tuple[float, FaultEvent]] = []
+
+    # ------------------------------------------------------------------
+    def apply(self, event: FaultEvent, now: float) -> bool:
+        """Mutate device health for one fired fault.
+
+        Returns False when the fault is moot (device already dead), in
+        which case the caller should not count or act on it.
+        """
+        health = self.health.get(event.device)
+        if health is None or not health.alive:
+            return False
+        if event.kind is FaultKind.STALL:
+            health.stalled_until = max(health.stalled_until, now + event.duration)
+        elif event.kind is FaultKind.DERATE:
+            health.derate = event.factor
+        else:  # FAIL and WEAROUT both end the device
+            health.alive = False
+            health.failed_at = now
+            health.reason = event.reason or event.kind.value
+        self.fired.append((now, event))
+        return True
+
+    def record_fill(self, kind: MemoryKind, nbytes: float) -> FaultEvent | None:
+        """Charge fill traffic; returns a wear-out event once its
+        threshold is crossed (at most one -- the device dies with it)."""
+        health = self.health.get(kind)
+        if health is None:
+            return None
+        health.fill_bytes += nbytes
+        watch = self._wear_watch.get(kind)
+        if not watch or not health.alive:
+            return None
+        if health.fill_bytes >= watch[0].threshold_bytes:
+            return watch.pop(0)
+        return None
+
+    # ------------------------------------------------------------------
+    def alive_kinds(self) -> list[MemoryKind]:
+        return [kind for kind, h in self.health.items() if h.alive]
+
+    def dead_kinds(self) -> list[MemoryKind]:
+        return [kind for kind, h in self.health.items() if not h.alive]
+
+    def time_scale(self, kind: MemoryKind) -> float:
+        return self.health[kind].time_scale
+
+    def summary(self) -> dict:
+        """JSON-ready end-of-run fault summary."""
+        return {
+            "plan_size": len(self.plan),
+            "injected": [
+                {"fired_at": at, **event.as_dict()} for at, event in self.fired
+            ],
+            "devices": {
+                kind.value: health.as_dict()
+                for kind, health in sorted(
+                    self.health.items(), key=lambda kv: kv[0].value
+                )
+            },
+        }

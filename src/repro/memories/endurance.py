@@ -23,6 +23,7 @@ from .base import MemorySpec
 
 if TYPE_CHECKING:  # avoid a core <-> memories import cycle
     from ..core.dispatcher import DispatchResult
+    from ..faults.plan import FaultEvent
 
 __all__ = ["WearTracker", "project_lifetime_seconds"]
 
@@ -96,6 +97,36 @@ class WearTracker:
 
     def projected_lifetime_years(self) -> float:
         return self.projected_lifetime_seconds() / _SECONDS_PER_YEAR
+
+    # -- fault-injection bridge (repro.faults) -------------------------
+    def remaining_bytes(self, reserve_fraction: float = 0.0) -> float:
+        """Write traffic left before the endurance budget (minus an
+        optional reserve) is exhausted."""
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        budget = self.total_cell_writes_budget * (1.0 - reserve_fraction)
+        return max(0.0, budget - self.written_bytes)
+
+    def wearout_event(self, reserve_fraction: float = 0.0) -> "FaultEvent":
+        """A :class:`~repro.faults.plan.FaultEvent` that kills this
+        device once a run writes the tracker's *remaining* endurance
+        budget -- the bridge from long-horizon wear bookkeeping to the
+        fault injector's per-run traffic threshold.
+        """
+        from ..faults.plan import FaultEvent, FaultKind
+
+        remaining = self.remaining_bytes(reserve_fraction)
+        return FaultEvent(
+            kind=FaultKind.WEAROUT,
+            device=self.spec.kind,
+            # A fully-worn device dies on its first write: keep the
+            # threshold strictly positive so the event validates.
+            threshold_bytes=max(remaining, 1.0),
+            reason=(
+                f"endurance budget exhausted "
+                f"({self.mean_writes_per_cell:.3g} writes/cell consumed)"
+            ),
+        )
 
 
 def project_lifetime_seconds(

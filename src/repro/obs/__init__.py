@@ -22,6 +22,8 @@ from .metrics import (
     runtime_counter_inc,
     runtime_counters,
     runtime_snapshot,
+    runtime_state_set,
+    runtime_states,
 )
 from .export import result_payload, trace_rows, write_results_json, write_trace_csv
 
@@ -42,6 +44,8 @@ __all__ = [
     "runtime_counter_inc",
     "runtime_counters",
     "runtime_snapshot",
+    "runtime_state_set",
+    "runtime_states",
     "result_payload",
     "trace_rows",
     "write_results_json",

@@ -115,6 +115,11 @@ class RunReport:
     p99_latency: float
     devices: dict[str, DeviceReport] = field(default_factory=dict)
     predictor: dict | None = None
+    #: Fault-injection summary (None for fault-free runs): plan size,
+    #: injected/retried/re-queued/failed counts, per-device health and
+    #: migrations, and the makespan overhead vs the fault-free baseline
+    #: when one was recorded.
+    degradation: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -125,6 +130,7 @@ class RunReport:
             "p99_latency": self.p99_latency,
             "devices": {name: dev.as_dict() for name, dev in self.devices.items()},
             "predictor": self.predictor,
+            "degradation": self.degradation,
         }
 
     def __str__(self) -> str:
@@ -164,6 +170,31 @@ class RunReport:
                 f"p90 {p['p90_abs_rel_error'] * 100:.1f}%  "
                 f"bias {p['mean_signed_rel_error'] * 100:+.1f}%"
             )
+        if self.degradation is not None:
+            d = self.degradation
+            lines.append(
+                f"degraded mode: {int(d['faults_injected'])} faults injected "
+                f"(plan {int(d['plan_size'])})  "
+                f"retried {int(d['jobs_retried'])}  "
+                f"re-queued {int(d['jobs_requeued'])}  "
+                f"failed {int(d['jobs_failed'])}"
+            )
+            for device, count in sorted(d["migrated_off"].items()):
+                lines.append(f"  migrated off {device}: {int(count)} jobs")
+            dead = [
+                name
+                for name, health in sorted(d["devices"].items())
+                if not health.get("alive", True)
+            ]
+            if dead:
+                lines.append("  lost devices: " + ", ".join(dead))
+            if d.get("makespan_overhead") is not None:
+                lines.append(
+                    "  makespan vs fault-free: "
+                    f"{_fmt_time(d['fault_free_makespan'])} -> "
+                    f"{_fmt_time(self.makespan)} "
+                    f"({d['makespan_overhead'] * 100:+.1f}%)"
+                )
         return "\n".join(lines)
 
 
@@ -204,7 +235,46 @@ def build_report(result) -> RunReport:
         p99_latency=result.tail_latency(0.99),
         devices=devices,
         predictor=decisions.error_summary() if decisions is not None else None,
+        degradation=_degradation_summary(result),
     )
+
+
+def _degradation_summary(result) -> dict | None:
+    """The report's fault-injection section, reconciled against the
+    run's metric counters (``faults.injected``, ``jobs.retried``,
+    ``jobs.requeued`` / ``jobs.requeued.<device>``, ``failed_jobs``)."""
+    fault_summary = getattr(result, "fault_summary", None)
+    if fault_summary is None:
+        return None
+    metrics = getattr(result, "metrics", None)
+    counters = metrics.counters if metrics is not None else {}
+
+    def value(name: str) -> float:
+        return counters[name].value if name in counters else 0.0
+
+    migrated = {
+        name.split(".", 2)[2]: counter.value
+        for name, counter in counters.items()
+        if name.startswith("jobs.requeued.")
+    }
+    failed = dict(getattr(result, "failed_jobs", {}) or {})
+    fault_free = getattr(result, "fault_free_makespan", None)
+    return {
+        "plan_size": fault_summary.get("plan_size", 0),
+        "faults_injected": value("faults.injected"),
+        "jobs_retried": value("jobs.retried"),
+        "jobs_requeued": value("jobs.requeued"),
+        "jobs_failed": len(failed),
+        "failed_jobs": failed,
+        "migrated_off": migrated,
+        "devices": fault_summary.get("devices", {}),
+        "fault_free_makespan": fault_free,
+        "makespan_overhead": (
+            result.makespan / fault_free - 1.0
+            if fault_free is not None and fault_free > 0
+            else None
+        ),
+    }
 
 
 def _fmt_time(seconds: float) -> str:

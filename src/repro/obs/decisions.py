@@ -125,6 +125,11 @@ class DecisionLog:
     def __iter__(self):
         return iter(self._decisions)
 
+    def __contains__(self, job_id: str) -> bool:
+        """A decision for ``job_id`` is already recorded (fault-retry
+        relaunches consult this to keep the log one-entry-per-job)."""
+        return job_id in self._by_job
+
     def error_summary(self) -> dict | None:
         """Predictor-error statistics over the resolved decisions.
 

@@ -76,6 +76,8 @@ def result_payload(result, run: int = 0) -> dict:
             metrics.snapshot(result.makespan) if metrics is not None else None
         ),
         "energy_j": result.energy.total(),
+        "faults": getattr(result, "fault_summary", None),
+        "failed_jobs": dict(getattr(result, "failed_jobs", {}) or {}),
     }
 
 

@@ -49,6 +49,8 @@ __all__ = [
     "runtime_counter_inc",
     "runtime_counters",
     "reset_runtime_counters",
+    "runtime_state_set",
+    "runtime_states",
     "runtime_snapshot",
 ]
 
@@ -223,6 +225,20 @@ class MetricsRegistry:
 # experiment workers each accumulate their own counters.
 _RUNTIME_COUNTERS: dict[str, float] = {}
 
+# Last-value runtime state (not monotonic): e.g. the current derate
+# factor of each device under fault injection (``faults.derate.sram``).
+_RUNTIME_STATE: dict[str, float] = {}
+
+
+def runtime_state_set(name: str, value: float) -> None:
+    """Set a process-global last-value state entry."""
+    _RUNTIME_STATE[name] = float(value)
+
+
+def runtime_states() -> dict[str, float]:
+    """Copy of the process-global state entries."""
+    return dict(_RUNTIME_STATE)
+
 
 def runtime_counter_inc(name: str, amount: float = 1.0) -> None:
     """Increment a process-global counter (e.g. ``"sim.events"``)."""
@@ -237,8 +253,10 @@ def runtime_counters() -> dict[str, float]:
 
 
 def reset_runtime_counters() -> None:
-    """Zero the process-global counters (start of a bench interval)."""
+    """Zero the process-global counters and state (start of a bench
+    interval)."""
     _RUNTIME_COUNTERS.clear()
+    _RUNTIME_STATE.clear()
 
 
 def runtime_snapshot() -> dict:
@@ -255,4 +273,4 @@ def runtime_snapshot() -> dict:
     caches = {}
     caches.update(perfmodel.cache_stats())
     caches.update(timing.cache_stats())
-    return {"counters": runtime_counters(), "caches": caches}
+    return {"counters": runtime_counters(), "state": runtime_states(), "caches": caches}

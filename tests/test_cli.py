@@ -1,5 +1,7 @@
 """CLI entry point (python -m repro)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
@@ -71,3 +73,40 @@ class TestTraceCommand:
         assert main(["trace", "nosuch"]) == 2
         err = capsys.readouterr().err
         assert "unknown trace target" in err
+
+
+class TestFaultsCommand:
+    SMOKE_PLAN = str(
+        Path(__file__).resolve().parent.parent
+        / "examples"
+        / "faultplan_smoke.json"
+    )
+
+    def test_run_faults_smoke_plan(self, capsys):
+        assert main(["run", "--faults", self.SMOKE_PLAN]) == 0
+        out = capsys.readouterr().out
+        assert "degraded mode" in out
+        assert "makespan vs fault-free" in out
+        assert "migrated off dram" in out
+
+    def test_faults_picks_scheduler_and_combo(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--faults", self.SMOKE_PLAN,
+                    "--scheduler", "ljf",
+                    "--combo", "C",
+                ]
+            )
+            == 0
+        )
+        assert "degraded mode" in capsys.readouterr().out
+
+    def test_faults_conflicts_with_experiment_names(self, capsys):
+        assert main(["run", "table3", "--faults", self.SMOKE_PLAN]) == 2
+        assert "not combinable" in capsys.readouterr().err
+
+    def test_faults_unknown_combo(self):
+        with pytest.raises(ValueError, match="unknown combo"):
+            main(["run", "--faults", self.SMOKE_PLAN, "--combo", "Z"])

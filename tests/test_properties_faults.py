@@ -1,0 +1,108 @@
+"""Property harness: seeded invariants of degraded-mode dispatch.
+
+Each case is a (scheduler, seed) pair: the seed builds a job batch
+(``tests/prophelpers.py``) and -- scaled to the batch's fault-free
+makespan so every event can actually land mid-run -- a random
+:class:`~repro.faults.plan.FaultPlan` of stalls, derates and
+failures.  Invariants checked on the degraded run:
+
+* every job completes exactly once or is reported failed;
+* nothing executes on a dead device past its failure time;
+* faults never *shorten* the run;
+* observability counters reconcile with the plan and the report;
+* the whole degraded run is deterministic from its two seeds.
+"""
+
+import pytest
+
+from repro.obs import build_report
+from repro.sim import Phase
+from tests.prophelpers import (
+    SCHEDULERS,
+    counter,
+    make_jobs,
+    random_plan,
+    run_batch,
+    trace_key,
+)
+
+SEEDS = tuple(range(20))
+
+#: Runs are pure functions of (scheduler, seed); cache them so each
+#: invariant below reads the same pair instead of re-simulating.
+_CACHE: dict = {}
+
+
+def runs(scheduler: str, seed: int):
+    key = (scheduler, seed)
+    if key not in _CACHE:
+        base = run_batch(scheduler, make_jobs(seed))
+        plan = random_plan(1000 + seed, horizon_s=base.makespan)
+        degraded = run_batch(scheduler, make_jobs(seed), faults=plan)
+        _CACHE[key] = (base, plan, degraded)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+class TestFaultInvariants:
+    def test_completes_exactly_once_or_fails(self, scheduler, seed):
+        _, _, deg = runs(scheduler, seed)
+        all_ids = {job.job_id for job in make_jobs(seed)}
+        completed, failed = set(deg.records), set(deg.failed_jobs)
+        assert completed | failed == all_ids
+        assert not completed & failed
+        computes: dict[str, int] = {}
+        for r in deg.trace.records:
+            if r.phase is Phase.COMPUTE:
+                computes[r.job_id] = computes.get(r.job_id, 0) + 1
+        assert all(computes.get(job_id, 0) == 1 for job_id in completed)
+        assert all(job_id not in computes for job_id in failed)
+        assert counter(deg, "jobs.completed") == len(completed)
+
+    def test_nothing_runs_on_a_dead_device(self, scheduler, seed):
+        _, _, deg = runs(scheduler, seed)
+        for device, health in deg.fault_summary["devices"].items():
+            if health["alive"]:
+                continue
+            late = [
+                r
+                for r in deg.trace.records
+                if r.device == device and r.end > health["failed_at"] + 1e-15
+            ]
+            assert not late, f"work on dead {device}: {late[:3]}"
+
+    def test_faults_never_shorten_the_run(self, scheduler, seed):
+        base, _, deg = runs(scheduler, seed)
+        assert deg.makespan >= base.makespan * (1 - 1e-12)
+
+    def test_counters_reconcile(self, scheduler, seed):
+        _, plan, deg = runs(scheduler, seed)
+        # Every timed plan event fires exactly once (moot ones against
+        # an already-dead device are still counted as injected).
+        assert counter(deg, "faults.injected") == len(plan.timed_events())
+        migrated = sum(
+            c.value
+            for name, c in deg.metrics.counters.items()
+            if name.startswith("jobs.requeued.")
+        )
+        assert migrated == counter(deg, "jobs.requeued")
+        degradation = build_report(deg).degradation
+        assert degradation is not None
+        assert degradation["plan_size"] == len(plan)
+        assert degradation["faults_injected"] == counter(deg, "faults.injected")
+        assert degradation["jobs_requeued"] == counter(deg, "jobs.requeued")
+        assert degradation["jobs_retried"] == counter(deg, "jobs.retried")
+        assert sum(degradation["migrated_off"].values()) == degradation["jobs_requeued"]
+        assert degradation["jobs_failed"] == len(deg.failed_jobs)
+
+
+@pytest.mark.parametrize("seed", (0, 7, 13))
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_degraded_runs_are_deterministic(scheduler, seed):
+    """Same job seed + same plan -> byte-identical degraded run."""
+    _, plan, first = runs(scheduler, seed)
+    again = run_batch(scheduler, make_jobs(seed), faults=plan)
+    assert trace_key(again) == trace_key(first)
+    assert again.makespan == first.makespan
+    assert again.failed_jobs == first.failed_jobs
