@@ -10,6 +10,7 @@ Usage::
     python -m repro trace A              # observability report for combo A
     python -m repro trace collab --scheduler adaptive --json out.json
     python -m repro bench --quick        # timed perf suite -> BENCH_<date>.json
+    python -m repro serve --arrivals poisson --rate 50 --tenants 3 --slo 10
 """
 
 from __future__ import annotations
@@ -188,6 +189,79 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Open-system serving run: arrivals, admission, per-tenant SLOs."""
+    import json
+
+    from .faults.plan import FaultPlan
+    from .harness.config import full_system, gnn_system
+    from .serving import (
+        PoissonArrivals,
+        ServingRuntime,
+        Tenant,
+        TraceArrivals,
+    )
+
+    if args.tenants < 1:
+        print("--tenants must be at least 1", file=sys.stderr)
+        return 2
+    if args.slo <= 0:
+        print("--slo must be positive (milliseconds)", file=sys.stderr)
+        return 2
+    if args.arrivals == "poisson":
+        tenant_names = tuple(f"tenant-{i}" for i in range(args.tenants))
+        process = PoissonArrivals(
+            rate=args.rate,
+            horizon=args.horizon,
+            seed=args.seed,
+            tenants=tenant_names,
+        )
+    else:
+        if not args.trace_file:
+            print("--arrivals trace needs --trace-file PATH", file=sys.stderr)
+            return 2
+        process = TraceArrivals(path=args.trace_file, seed=args.seed)
+        tenant_names = tuple(
+            sorted({str(e["tenant"]) for e in process.entries()})
+        )
+        if not tenant_names:
+            print(f"trace {args.trace_file} has no arrivals", file=sys.stderr)
+            return 2
+    # Earlier tenants get higher weights (a deliberate asymmetry so the
+    # weighted-fair release is visible in the report).
+    tenants = [
+        Tenant(
+            name,
+            weight=float(len(tenant_names) - i),
+            queue_limit=args.queue_limit,
+        )
+        for i, name in enumerate(tenant_names)
+    ]
+    faults = FaultPlan.load(args.faults) if args.faults else None
+    system = gnn_system() if args.system == "gnn" else full_system()
+    runtime = ServingRuntime(
+        system, scheduler=args.scheduler, max_backlog=args.max_backlog
+    )
+    serving = runtime.serve(
+        process,
+        tenants=tenants,
+        slo_s=args.slo * 1e-3,
+        faults=faults,
+        label=f"{args.scheduler}/serve",
+    )
+    print(serving.report)
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(serving.report.as_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -280,6 +354,71 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression", type=float, default=0.30, metavar="FRAC",
         help="allowed fractional events/sec drop for --check (default 0.30)",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="open-system serving run: timed arrivals, multi-tenant "
+        "admission, per-tenant SLO report",
+    )
+    serve.add_argument(
+        "--arrivals",
+        choices=["poisson", "trace"],
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0, metavar="JOBS_PER_S",
+        help="aggregate Poisson arrival rate in jobs/second (default: 50)",
+    )
+    serve.add_argument(
+        "--horizon", type=float, default=1.0, metavar="SECONDS",
+        help="arrival-generation horizon; the run then drains (default: 1.0)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="tenant count for poisson arrivals (default: 3); trace "
+        "arrivals name their own tenants",
+    )
+    serve.add_argument(
+        "--slo", type=float, default=10.0, metavar="MS",
+        help="per-tenant sojourn-time SLO in milliseconds (default: 10)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="arrival/workload seed; same seed -> byte-identical report",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=["ljf", "adaptive", "global"],
+        default="adaptive",
+        help="scheduling policy (default: adaptive)",
+    )
+    serve.add_argument(
+        "--system",
+        choices=["full", "gnn"],
+        default="full",
+        help="device set: full Table III or the scaled GNN system "
+        "(default: full)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="per-tenant bounded-queue depth; overflow is shed (default: 64)",
+    )
+    serve.add_argument(
+        "--max-backlog", type=int, default=32, metavar="N",
+        help="released-but-undispatched jobs the policy may hold (default: 32)",
+    )
+    serve.add_argument(
+        "--trace-file", metavar="PATH", default=None,
+        help="JSON arrival trace for --arrivals trace",
+    )
+    serve.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="inject a JSON fault plan into the serving run",
+    )
+    serve.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the SLO report as JSON",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -290,6 +429,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.faults is not None:
         if args.names:
             print(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultEvent, FaultKind, FaultPlan
@@ -33,6 +34,9 @@ from ..sim.mainmem import DDR4Config, SharedBandwidthPipe
 from ..sim.trace import ExecutionTrace, Phase
 from .job import Job
 from .scheduler.base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView
+
+if TYPE_CHECKING:  # pragma: no cover - serving imports core, not vice versa
+    from ..serving.tenants import OpenLoop
 
 __all__ = ["JobRecord", "DispatchResult", "Dispatcher", "DispatchError"]
 
@@ -178,6 +182,7 @@ class Dispatcher:
         policy: DispatchPolicy,
         label: str = "",
         faults: FaultPlan | None = None,
+        open_loop: "OpenLoop | None" = None,
     ) -> DispatchResult:
         """Execute one batch under ``policy``.
 
@@ -190,6 +195,14 @@ class Dispatcher:
         charged to aborted attempts stays charged -- wasted work is
         real work.  With ``faults`` None or empty, the run takes
         exactly the fault-free code path (byte-identical traces).
+
+        ``open_loop`` (see :class:`repro.serving.tenants.OpenLoop`)
+        turns the closed batch into an open system: its timed arrivals
+        become first-class sim events, and every pump first drains the
+        admission layer (tenant queues -> ``policy.admit``) before
+        consulting the policy for dispatches.  With no arrivals the
+        open loop adds **zero** sim events and no metric series, so a
+        zero-rate serving run is byte-identical to the closed path.
         """
         sim = Simulator()
         pipe = SharedBandwidthPipe(sim, self.ddr4)
@@ -669,6 +682,14 @@ class Dispatcher:
             sim.after(self.dispatch_overhead_s, begin_fill)
 
         def pump() -> None:
+            if open_loop is not None:
+                # Admission before dispatch: release queued arrivals up
+                # to the backlog cap, offer them to the policy, count
+                # what it cannot place as shed.
+                released = open_loop.release(sim.now, policy.pending())
+                if released:
+                    rejected = policy.admit(released, sim.now)
+                    open_loop.on_rejected(rejected, sim.now)
             dispatches = policy.next_dispatches(view())
             for dispatch in dispatches:
                 launch(dispatch)
@@ -705,6 +726,17 @@ class Dispatcher:
                 )
 
         sim.after(0.0, pump)
+        if open_loop is not None:
+            open_loop.bind(metrics)
+
+            def handle_arrival(arrival) -> None:
+                open_loop.on_arrival(arrival, sim.now)
+                pump()
+
+            # Each timed arrival becomes a first-class sim event; an
+            # empty arrival list schedules nothing at all.
+            for arrival in open_loop.arrivals:
+                sim.at_arrival(arrival, handle_arrival)
         if injector is not None:
             # The plan's timed faults become first-class sim events.
             for event in faults.timed_events():

@@ -16,6 +16,7 @@ remainders (III-C5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ...memories.base import MemoryKind
 from ..job import Job
@@ -35,6 +36,7 @@ class AdaptivePolicy(DispatchPolicy):
         backfill: bool = True,
         plans: dict[str, dict[MemoryKind, PlannedJob]] | None = None,
         system: MLIMPSystem | None = None,
+        planner: Callable[[Job], dict[MemoryKind, PlannedJob]] | None = None,
     ) -> None:
         # Largest estimated time first within each queue.
         self._queues = {
@@ -51,6 +53,9 @@ class AdaptivePolicy(DispatchPolicy):
         # hooks fall back to base-class behaviour without them).
         self._plans = plans
         self._system = system
+        # Knee-sizes a newly arrived job on every memory it fits;
+        # enables online admission (repro.serving).
+        self._planner = planner
         self._derate: dict[MemoryKind, float] = {}
 
     def pending(self) -> int:
@@ -99,7 +104,13 @@ class AdaptivePolicy(DispatchPolicy):
                 self._queues[best.kind].append(best)
         # Re-run Algorithm 1 over the survivors so the degraded system
         # is balanced, not merely feasible.
-        if self._system is not None and self._queues:
+        self._rebalance()
+        return unplaced
+
+    def _rebalance(self) -> None:
+        """Algorithm 1 over the currently *queued* jobs (the live
+        queues), then restore longest-first dispatch order."""
+        if self._system is not None and self._queues and self._plans is not None:
             alive = [k for k in self._system.kinds if k in self._queues]
             plans = {
                 job_id: {k: e for k, e in options.items() if k in self._queues}
@@ -112,6 +123,40 @@ class AdaptivePolicy(DispatchPolicy):
             k: sorted(entries, key=lambda e: e.est_time, reverse=True)
             for k, entries in self._queues.items()
         }
+
+    # -- online admission (repro.serving) ------------------------------
+    def admit(self, jobs: list[Job], now: float) -> list[Job]:
+        """Arrival-awareness: knee-size each arrival on every live
+        memory, queue it where it is estimated fastest (derate-aware),
+        and re-run the inter-queue adjustment (Algorithm 1) so the
+        open-system queues stay balanced as load shifts.
+
+        Returns the jobs that fit no surviving memory (the serving
+        layer counts them as shed).
+        """
+        if self._planner is None:
+            return list(jobs)
+        unplaced: list[Job] = []
+        admitted = False
+        for job in jobs:
+            options = {
+                kind: entry
+                for kind, entry in self._planner(job).items()
+                if kind in self._queues
+            }
+            if not options:
+                unplaced.append(job)
+                continue
+            if self._plans is not None:
+                self._plans[job.job_id] = options
+            best = min(
+                options.items(),
+                key=lambda kv: (self._scaled_time(kv[1], kv[0]), kv[0].value),
+            )[1]
+            self._queues[best.kind].append(best)
+            admitted = True
+        if admitted:
+            self._rebalance()
         return unplaced
 
     def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
@@ -208,6 +253,24 @@ class AdaptiveScheduler(Scheduler):
     sizing: str = "knee"
     name: str = "adaptive"
 
+    def plan_options(
+        self, job: Job, system: MLIMPSystem
+    ) -> dict[MemoryKind, PlannedJob]:
+        """Knee-size one job on every memory it fits (the per-job plan
+        table; also the online-admission planner of the serving layer)."""
+        return {
+            kind: plan_job(
+                job,
+                kind,
+                self.predictor,
+                system,
+                self.allocation_cap_fraction,
+                sizing=self.sizing,
+            )
+            for kind in system.kinds
+            if job_fits(job, kind, system)
+        }
+
     def build_plans(
         self, jobs: list[Job], system: MLIMPSystem
     ) -> tuple[
@@ -224,18 +287,7 @@ class AdaptiveScheduler(Scheduler):
         queues: dict[MemoryKind, list[PlannedJob]] = {k: [] for k in system.kinds}
         plans: dict[str, dict[MemoryKind, PlannedJob]] = {}
         for job in jobs:
-            options = {
-                kind: plan_job(
-                    job,
-                    kind,
-                    self.predictor,
-                    system,
-                    self.allocation_cap_fraction,
-                    sizing=self.sizing,
-                )
-                for kind in system.kinds
-                if job_fits(job, kind, system)
-            }
+            options = self.plan_options(job, system)
             if not options:
                 raise ValueError(f"job {job.job_id} fits no memory in the system")
             plans[job.job_id] = options
@@ -254,5 +306,9 @@ class AdaptiveScheduler(Scheduler):
     def plan(self, jobs: list[Job], system: MLIMPSystem) -> AdaptivePolicy:
         queues, plans = self.build_plans(jobs, system)
         return AdaptivePolicy(
-            queues, backfill=self.backfill, plans=plans, system=system
+            queues,
+            backfill=self.backfill,
+            plans=plans,
+            system=system,
+            planner=lambda job: self.plan_options(job, system),
         )

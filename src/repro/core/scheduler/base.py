@@ -115,6 +115,23 @@ class DispatchPolicy(abc.ABC):
     def notify_completion(self, job: Job, kind: MemoryKind, now: float) -> None:
         """Hook: a dispatched job finished (adaptive policies use it)."""
 
+    # -- online admission (repro.serving) ------------------------------
+    def admit(self, jobs: list[Job], now: float) -> list[Job]:
+        """Open-system hook: ``jobs`` arrived at ``now`` and want in.
+
+        Closed-batch policies see their whole queue at plan time; under
+        the serving layer (:mod:`repro.serving`) jobs arrive while the
+        dispatcher runs and are offered here after admission control.
+        An arrival-aware policy plans each job (sizing it with its own
+        machinery), inserts it into its queue structure, and returns
+        the jobs it could **not** place -- e.g. a job that only fits
+        devices lost to faults.  Rejected jobs are counted as shed by
+        the serving layer, never silently dropped.
+
+        The default is not arrival-aware: everything is rejected.
+        """
+        return list(jobs)
+
     def queue_depths(self) -> dict[str, int] | None:
         """Pending jobs per internal queue, for the observability
         layer's queue-depth gauges.  ``None`` (the default) means the

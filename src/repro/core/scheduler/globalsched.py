@@ -21,6 +21,7 @@ the sigma ~ 0.39 adaptive/global crossover of Section V-B3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ...memories.base import MemoryKind
 from ..job import Job
@@ -137,6 +138,7 @@ class GlobalPolicy(DispatchPolicy):
         plans: dict[str, dict[MemoryKind, PlannedJob]] | None = None,
         system: MLIMPSystem | None = None,
         intra_queue: bool = True,
+        planner: Callable[[Job], dict[MemoryKind, PlannedJob]] | None = None,
     ) -> None:
         self._schedule = list(schedule)
         # Re-planning context for the graceful-degradation hooks
@@ -144,6 +146,9 @@ class GlobalPolicy(DispatchPolicy):
         self._plans = plans
         self._system = system
         self._intra_queue = intra_queue
+        # Knee-sizes a newly arrived job on every memory it fits;
+        # enables online admission (repro.serving).
+        self._planner = planner
         self._lost: set[MemoryKind] = set()
         self._derate: dict[MemoryKind, float] = {}
 
@@ -190,24 +195,20 @@ class GlobalPolicy(DispatchPolicy):
             free_run[kind] -= entry.arrays
         return dispatches
 
-    # -- graceful degradation (repro.faults) ---------------------------
-    def device_lost(
-        self, kind: MemoryKind, jobs: list[Job], now: float
-    ) -> list[Job]:
-        """Re-plan the remaining schedule over the surviving devices.
+    # -- re-planning core (shared by device_lost and admit) ------------
+    def _replan(self, new_jobs: list[Job], now: float) -> list[Job]:
+        """Rebuild the static schedule over the surviving devices.
 
-        Every unlaunched entry plus the returned in-flight jobs are
-        re-queued (dead-device work moves to each job's best surviving
-        plan), Algorithm 2 re-balances the queues, and a fresh static
-        schedule is list-scheduled from ``now``.
+        Every unlaunched entry plus ``new_jobs`` (in-flight victims of
+        a device loss, or newly arrived open-system jobs) are re-queued
+        on each job's best surviving plan, Algorithm 2 re-balances the
+        queues, and a fresh schedule is list-scheduled from ``now``.
+        Returns the jobs that fit no surviving device.
         """
-        if self._plans is None or self._system is None:
-            return list(jobs)
-        self._lost.add(kind)
         alive = [k for k in self._system.kinds if k not in self._lost]
         if not alive:
             self._schedule = []
-            return list(jobs)
+            return list(new_jobs)
         subset = self._system.subset(alive)
         queues: dict[MemoryKind, list[PlannedJob]] = {k: [] for k in alive}
         unplaced: list[Job] = []
@@ -229,7 +230,7 @@ class GlobalPolicy(DispatchPolicy):
 
         for scheduled in self._schedule:
             place(scheduled.entry.job, scheduled.entry)
-        for job in jobs:
+        for job in new_jobs:
             place(job, None)
         if self._intra_queue:
             queues = intra_queue_adjust(queues, subset)
@@ -242,6 +243,44 @@ class GlobalPolicy(DispatchPolicy):
             for s in build_static_schedule(capped, subset)
         ]
         return unplaced
+
+    # -- online admission (repro.serving) ------------------------------
+    def admit(self, jobs: list[Job], now: float) -> list[Job]:
+        """Arrival-awareness: fold arrivals into a *fresh* static plan.
+
+        The global scheduler's contract is a complete precomputed
+        schedule, so an arrival triggers a full re-plan of the not-yet-
+        launched remainder: new jobs are knee-sized, every waiting
+        entry keeps its current placement, Algorithm 2 re-balances
+        allocations, and the list schedule is rebuilt from ``now``
+        (in-flight jobs keep running; launches still wait for their
+        planned resources to actually free up).
+        """
+        if self._planner is None or self._plans is None or self._system is None:
+            return list(jobs)
+        placeable: list[Job] = []
+        unplaced: list[Job] = []
+        for job in jobs:
+            options = self._planner(job)
+            if not options:
+                unplaced.append(job)
+                continue
+            self._plans[job.job_id] = options
+            placeable.append(job)
+        if placeable:
+            unplaced.extend(self._replan(placeable, now))
+        return unplaced
+
+    # -- graceful degradation (repro.faults) ---------------------------
+    def device_lost(
+        self, kind: MemoryKind, jobs: list[Job], now: float
+    ) -> list[Job]:
+        """Re-plan the remaining schedule over the surviving devices
+        (see :meth:`_replan`)."""
+        if self._plans is None or self._system is None:
+            return list(jobs)
+        self._lost.add(kind)
+        return self._replan(jobs, now)
 
     def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
         """Record the derate so predictions stay honest.
@@ -286,4 +325,5 @@ class GlobalScheduler(Scheduler):
             plans=plans,
             system=system,
             intra_queue=self.intra_queue,
+            planner=lambda job: base.plan_options(job, system),
         )

@@ -14,6 +14,7 @@ shows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ...memories.base import MemoryKind
 from ..job import Job
@@ -45,9 +46,13 @@ class LJFPolicy(DispatchPolicy):
         self,
         queue: list[_QueuedJob],
         candidates: dict[str, list[_QueuedJob]] | None = None,
+        planner: Callable[[Job], list[_QueuedJob]] | None = None,
     ) -> None:
         self._queue = queue
         self._candidates = candidates
+        # Sizes a newly arrived job on every memory it fits (the plan
+        # loop as a closure); enables online admission (repro.serving).
+        self._planner = planner
         self._lost: set[MemoryKind] = set()
         self._derate: dict[MemoryKind, float] = {}
 
@@ -81,6 +86,33 @@ class LJFPolicy(DispatchPolicy):
             free_slots[kind] -= 1
             free_run[kind] -= head.arrays
         return dispatches
+
+    # -- online admission (repro.serving) ------------------------------
+    def admit(self, jobs: list[Job], now: float) -> list[Job]:
+        """Arrival-awareness: size each arrival on every surviving
+        memory and insert it into the single queue in LJF order.
+
+        The naive baseline stays naive under open arrivals: the queue
+        is re-sorted longest-first over the *waiting* jobs only, and
+        head-of-line blocking still applies at dispatch time.
+        """
+        if self._planner is None:
+            return list(jobs)
+        unplaced: list[Job] = []
+        for job in jobs:
+            options = [
+                entry
+                for entry in self._planner(job)
+                if entry.best_kind not in self._lost
+            ]
+            if not options:
+                unplaced.append(job)
+                continue
+            if self._candidates is not None:
+                self._candidates[job.job_id] = options
+            self._queue.append(min(options, key=self._effective_time))
+        self._resort()
+        return unplaced
 
     # -- graceful degradation (repro.faults) ---------------------------
     def _best_candidate(self, job: Job) -> _QueuedJob | None:
@@ -143,33 +175,42 @@ class LJFScheduler(Scheduler):
     predictor: PerformancePredictor
     name: str = "ljf"
 
+    def fair_share_options(
+        self, job: Job, system: MLIMPSystem
+    ) -> list[_QueuedJob]:
+        """One fixed fair-share sized :class:`_QueuedJob` per memory
+        the job fits (the III-C2 ``a_unit = max_size / P`` sizing)."""
+        options: list[_QueuedJob] = []
+        for kind in system.kinds:
+            if kind not in job.profiles:
+                continue
+            estimate = self.predictor.estimate(job, kind)
+            if estimate.unit_arrays > system.arrays(kind):
+                continue  # one replica does not even fit this device
+            arrays = max(system.fair_share(kind), estimate.unit_arrays)
+            arrays = min(arrays, system.arrays(kind))
+            options.append(
+                _QueuedJob(
+                    job=job,
+                    best_kind=kind,
+                    best_time=estimate.total_time(arrays),
+                    arrays=arrays,
+                )
+            )
+        return options
+
     def plan(self, jobs: list[Job], system: MLIMPSystem) -> LJFPolicy:
+        planner = lambda job: self.fair_share_options(job, system)  # noqa: E731
         if not jobs:
-            return LJFPolicy([])
+            return LJFPolicy([], candidates={}, planner=planner)
         entries: list[_QueuedJob] = []
         candidates: dict[str, list[_QueuedJob]] = {}
         for job in jobs:
-            options: list[_QueuedJob] = []
-            for kind in system.kinds:
-                if kind not in job.profiles:
-                    continue
-                estimate = self.predictor.estimate(job, kind)
-                if estimate.unit_arrays > system.arrays(kind):
-                    continue  # one replica does not even fit this device
-                arrays = max(system.fair_share(kind), estimate.unit_arrays)
-                arrays = min(arrays, system.arrays(kind))
-                options.append(
-                    _QueuedJob(
-                        job=job,
-                        best_kind=kind,
-                        best_time=estimate.total_time(arrays),
-                        arrays=arrays,
-                    )
-                )
+            options = self.fair_share_options(job, system)
             if not options:
                 raise ValueError(f"job {job.job_id} fits no memory in the system")
             candidates[job.job_id] = options
             entries.append(min(options, key=lambda entry: entry.best_time))
         # Longest (shortest-execution-time metric) first.
         entries.sort(key=lambda entry: entry.best_time, reverse=True)
-        return LJFPolicy(entries, candidates=candidates)
+        return LJFPolicy(entries, candidates=candidates, planner=planner)

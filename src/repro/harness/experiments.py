@@ -772,11 +772,14 @@ def predictor_accuracy(dataset: str = "citation") -> Report:
 # ======================================================================
 def full_registry() -> dict:
     """Every runnable experiment: the figure/table registry plus the
-    ablations under ``ablation-<name>`` (the CLI's namespace)."""
+    ablations under ``ablation-<name>`` plus the open-system serving
+    comparisons (the CLI's namespace)."""
     from .ablations import ABLATIONS
+    from .serving import SERVING_EXPERIMENTS
 
     registry = dict(EXPERIMENTS)
     registry.update({f"ablation-{name}": fn for name, fn in ABLATIONS.items()})
+    registry.update(SERVING_EXPERIMENTS)
     return registry
 
 

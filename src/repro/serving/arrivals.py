@@ -1,0 +1,152 @@
+"""Arrival processes: when open-system jobs hit the runtime.
+
+A closed batch hands the scheduler its whole queue at time zero; an
+open system confronts it with jobs that arrive *while it runs*.  This
+module generates the arrival timeline as a list of
+:class:`~repro.sim.events.JobArrival` values -- plain data the
+dispatcher turns into first-class simulation events.
+
+Two processes cover the paper-style serving experiments:
+
+* :class:`PoissonArrivals` -- a seeded memoryless stream at ``rate``
+  jobs/second until ``horizon`` seconds, tenants drawn by weight.
+  Everything derives from one ``random.Random(seed)``, so the same
+  seed always produces the identical timeline (byte-identical serve
+  reports; see ``tests/test_serving.py``).
+* :class:`TraceArrivals` -- replays a JSON trace file, for measured
+  or hand-crafted workloads.
+
+Usage::
+
+    process = PoissonArrivals(rate=50.0, horizon=1.0, seed=7,
+                              tenants=["a", "b", "c"])
+    arrivals = process.generate(workload.make_job)
+
+Trace file format (a JSON list, times in seconds)::
+
+    [{"time": 0.0001, "tenant": "a"},
+     {"time": 0.0004, "tenant": "b", "kernel": "gemm"}]
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..core.job import Job
+from ..sim.events import JobArrival
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "TraceArrivals"]
+
+#: ``make_job(index, tenant, rng, hint)``: synthesises the job carried
+#: by one arrival.  ``hint`` is the trace entry's extra fields (empty
+#: for generated processes).
+JobFactory = Callable[[int, str, random.Random, dict], Job]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates the timed arrival list for one serving run."""
+
+    @abc.abstractmethod
+    def generate(self, make_job: JobFactory) -> list[JobArrival]:
+        """The full arrival timeline, sorted by (time, seq)."""
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Merged Poisson stream: exponential gaps, weighted tenant draw.
+
+    ``rate`` is the aggregate arrival rate over all tenants in
+    jobs/second; ``horizon`` bounds generation (the run itself then
+    drains to completion).  ``weights`` defaults to uniform.
+    """
+
+    rate: float
+    horizon: float
+    seed: int
+    tenants: tuple[str, ...] = ("tenant-0",)
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be non-negative, got {self.rate}")
+        if self.horizon < 0:
+            raise ValueError(f"horizon must be non-negative, got {self.horizon}")
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        if self.weights is not None and len(self.weights) != len(self.tenants):
+            raise ValueError("one weight per tenant required")
+        if self.weights is not None and any(w <= 0 for w in self.weights):
+            raise ValueError("tenant weights must be positive")
+
+    def generate(self, make_job: JobFactory) -> list[JobArrival]:
+        rng = random.Random(self.seed)
+        weights = list(self.weights) if self.weights is not None else None
+        arrivals: list[JobArrival] = []
+        now = 0.0
+        seq = 0
+        while self.rate > 0:
+            now += rng.expovariate(self.rate)
+            if now >= self.horizon:
+                break
+            tenant = rng.choices(list(self.tenants), weights=weights)[0]
+            job = make_job(seq, tenant, rng, {})
+            arrivals.append(JobArrival(time=now, seq=seq, tenant=tenant, job=job))
+            seq += 1
+        return arrivals
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replays a recorded arrival trace (JSON list of entries).
+
+    Each entry needs ``time`` (seconds) and ``tenant``; any further
+    keys are passed to the job factory as its ``hint`` so traces can
+    pin per-arrival workload shape.  Entries are stably sorted by
+    time, so an unsorted trace is still deterministic.
+    """
+
+    path: str
+    seed: int = 0
+    _entries: tuple | None = field(default=None, compare=False)
+
+    def entries(self) -> list[dict]:
+        if self._entries is not None:
+            return [dict(e) for e in self._entries]
+        raw = json.loads(Path(self.path).read_text())
+        if not isinstance(raw, list):
+            raise ValueError(f"trace {self.path}: expected a JSON list")
+        for i, entry in enumerate(raw):
+            if "time" not in entry or "tenant" not in entry:
+                raise ValueError(
+                    f"trace {self.path}: entry {i} needs 'time' and 'tenant'"
+                )
+        return raw
+
+    @classmethod
+    def from_entries(cls, entries: list[dict], seed: int = 0) -> "TraceArrivals":
+        """An in-memory trace (tests, programmatic workloads)."""
+        return cls(
+            path="<memory>",
+            seed=seed,
+            _entries=tuple(dict(e) for e in entries),
+        )
+
+    def generate(self, make_job: JobFactory) -> list[JobArrival]:
+        rng = random.Random(self.seed)
+        entries = sorted(enumerate(self.entries()), key=lambda pair: (pair[1]["time"], pair[0]))
+        arrivals: list[JobArrival] = []
+        for seq, (_, entry) in enumerate(entries):
+            hint = {k: v for k, v in entry.items() if k not in ("time", "tenant")}
+            tenant = str(entry["tenant"])
+            job = make_job(seq, tenant, rng, hint)
+            arrivals.append(
+                JobArrival(
+                    time=float(entry["time"]), seq=seq, tenant=tenant, job=job
+                )
+            )
+        return arrivals

@@ -1,0 +1,199 @@
+"""Per-tenant SLO reporting for open-system serving runs.
+
+A closed batch is judged by makespan; an open system is judged by
+**sojourn time** -- how long each job spent in the system from its
+arrival (not its dispatch) to its completion -- plus how much load had
+to be shed to keep that sojourn bounded.  :func:`build_serving_report`
+joins the dispatcher's job records with the
+:class:`~repro.serving.tenants.OpenLoop`'s arrival bookkeeping into a
+:class:`ServingReport`:
+
+* per-tenant p50/p95/p99/mean sojourn (nearest-rank quantiles, the
+  same definition as the dispatcher's tail latency),
+* per-tenant SLO attainment (fraction of completed jobs whose sojourn
+  met the target),
+* shed counts split by cause (queue overflow vs unplaceable), and
+* per-memory-layer utilisation from the trace analytics.
+
+``str(report)`` renders the summary table; :meth:`ServingReport.as_dict`
+is the JSON-ready schema the CLI emits and CI asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.dispatcher import DispatchResult
+from ..obs.analytics import build_report
+from ..obs.metrics import nearest_rank
+from .tenants import OpenLoop
+
+__all__ = ["TenantReport", "ServingReport", "build_serving_report"]
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's view of the run."""
+
+    tenant: str
+    offered: int
+    admitted: int
+    completed: int
+    shed_queue_full: int
+    shed_unplaced: int
+    sojourn_mean_s: float
+    sojourn_p50_s: float
+    sojourn_p95_s: float
+    sojourn_p99_s: float
+    slo_attainment: float
+
+    @property
+    def shed(self) -> int:
+        return self.shed_queue_full + self.shed_unplaced
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_unplaced": self.shed_unplaced,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "sojourn_ms": {
+                "mean": self.sojourn_mean_s * 1e3,
+                "p50": self.sojourn_p50_s * 1e3,
+                "p95": self.sojourn_p95_s * 1e3,
+                "p99": self.sojourn_p99_s * 1e3,
+            },
+            "slo_attainment": self.slo_attainment,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Everything one open-system run produced, tenant by tenant."""
+
+    scheduler: str
+    makespan: float
+    slo_s: float
+    tenants: dict[str, TenantReport] = field(default_factory=dict)
+    #: Busy fraction of the makespan, per memory layer.
+    utilisation: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def offered(self) -> int:
+        return sum(t.offered for t in self.tenants.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.tenants.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants.values())
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Attainment over all completed jobs (not a tenant average)."""
+        total = self.completed
+        if not total:
+            return 1.0
+        met = sum(t.slo_attainment * t.completed for t in self.tenants.values())
+        return met / total
+
+    def as_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "makespan": self.makespan,
+            "slo_ms": self.slo_s * 1e3,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "slo_attainment": self.slo_attainment,
+            "tenants": {
+                name: report.as_dict()
+                for name, report in sorted(self.tenants.items())
+            },
+            "utilisation": dict(sorted(self.utilisation.items())),
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"serving[{self.scheduler}]  makespan {self.makespan * 1e3:.3f} ms  "
+            f"slo {self.slo_s * 1e3:.2f} ms  offered {self.offered}  "
+            f"completed {self.completed}  shed {self.shed} "
+            f"({self.shed_rate:.1%})  attainment {self.slo_attainment:.1%}",
+            f"{'tenant':<12} {'off':>5} {'done':>5} {'shed':>5} "
+            f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'slo':>6}",
+        ]
+        for name, t in sorted(self.tenants.items()):
+            lines.append(
+                f"{name:<12} {t.offered:>5} {t.completed:>5} {t.shed:>5} "
+                f"{t.sojourn_p50_s * 1e3:>8.3f} {t.sojourn_p95_s * 1e3:>8.3f} "
+                f"{t.sojourn_p99_s * 1e3:>8.3f} {t.slo_attainment:>6.1%}"
+            )
+        if self.utilisation:
+            util = "  ".join(
+                f"{dev}={frac:.1%}" for dev, frac in sorted(self.utilisation.items())
+            )
+            lines.append(f"utilisation  {util}")
+        return "\n".join(lines)
+
+
+def build_serving_report(
+    result: DispatchResult, open_loop: OpenLoop, slo_s: float
+) -> ServingReport:
+    """Join dispatch records with arrival bookkeeping.
+
+    Sojourn of a completed job is ``finished_at - arrival_time``; jobs
+    injected by the *closed* part of a mixed run (no arrival record)
+    do not contribute to tenant sojourns.
+    """
+    if slo_s <= 0:
+        raise ValueError(f"slo must be positive, got {slo_s}")
+    sojourns: dict[str, list[float]] = {t.name: [] for t in open_loop.tenants}
+    for job_id, record in result.records.items():
+        arrived = open_loop.arrival_times.get(job_id)
+        if arrived is None:
+            continue
+        tenant = open_loop.job_tenants[job_id]
+        sojourns[tenant].append(record.finished_at - arrived)
+
+    tenants: dict[str, TenantReport] = {}
+    for name, stats in open_loop.tenant_stats().items():
+        values = sorted(sojourns.get(name, []))
+        met = sum(1 for v in values if v <= slo_s)
+        tenants[name] = TenantReport(
+            tenant=name,
+            offered=stats["offered"],
+            admitted=stats["admitted"],
+            completed=len(values),
+            shed_queue_full=stats["shed_queue_full"],
+            shed_unplaced=stats["shed_unplaced"],
+            sojourn_mean_s=sum(values) / len(values) if values else 0.0,
+            sojourn_p50_s=nearest_rank(values, 0.50) if values else 0.0,
+            sojourn_p95_s=nearest_rank(values, 0.95) if values else 0.0,
+            sojourn_p99_s=nearest_rank(values, 0.99) if values else 0.0,
+            slo_attainment=met / len(values) if values else 1.0,
+        )
+
+    devices = build_report(result).devices
+    utilisation = {name: report.utilisation for name, report in devices.items()}
+    return ServingReport(
+        scheduler=result.scheduler_name,
+        makespan=result.makespan,
+        slo_s=slo_s,
+        tenants=tenants,
+        utilisation=utilisation,
+    )

@@ -2,7 +2,7 @@
 
 from .energy import EnergyCategory, EnergyLedger
 from .engine import SimulationError, Simulator
-from .events import Event, EventHandle
+from .events import Event, EventHandle, JobArrival
 from .mainmem import DDR4Config, SharedBandwidthPipe, Transfer
 from .trace import ExecutionTrace, Phase, TraceRecord
 
@@ -13,6 +13,7 @@ __all__ = [
     "Simulator",
     "Event",
     "EventHandle",
+    "JobArrival",
     "DDR4Config",
     "SharedBandwidthPipe",
     "Transfer",

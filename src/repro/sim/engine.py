@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-from .events import Event, EventHandle
+from .events import Event, EventHandle, JobArrival
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -86,6 +86,18 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self._now + delay, callback, *args)
+
+    def at_arrival(
+        self, arrival: JobArrival, callback: Callable[[JobArrival], Any]
+    ) -> EventHandle:
+        """Schedule ``callback(arrival)`` at the arrival's timestamp.
+
+        Open-system job arrivals (:class:`~repro.sim.events.JobArrival`)
+        become ordinary timed events; same-timestamp arrivals fire in
+        scheduling order like any other event, so trace-driven and
+        Poisson workloads replay deterministically.
+        """
+        return self.at(arrival.time, callback, arrival)
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`EventHandle.cancel`: keep the O(1) pending

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["Event", "EventHandle"]
+__all__ = ["Event", "EventHandle", "JobArrival"]
 
 
 @dataclass(order=True)
@@ -26,6 +26,32 @@ class Event:
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
     executed: bool = field(compare=False, default=False)
+
+
+@dataclass(frozen=True, order=True)
+class JobArrival:
+    """One timed open-system job arrival (the serving layer's unit).
+
+    The closed-batch dispatcher sees its whole queue at t = 0; an open
+    system does not -- jobs materialise while the simulation runs.  A
+    :class:`JobArrival` is the record of one such materialisation: at
+    ``time``, ``tenant`` submitted ``job``.  Arrival processes
+    (:mod:`repro.serving.arrivals`) produce deterministic, time-sorted
+    lists of these, and the dispatcher turns each into a first-class
+    simulator event via :meth:`Simulator.at_arrival`.
+
+    Ordering is (time, seq), mirroring :class:`Event`: ties break in
+    generation order so open-system runs stay deterministic.
+    """
+
+    time: float
+    seq: int
+    tenant: str = field(compare=False, default="")
+    job: Any = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"arrival time must be non-negative, got {self.time}")
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,6 @@
 """CLI entry point (python -m repro)."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -110,3 +111,90 @@ class TestFaultsCommand:
     def test_faults_unknown_combo(self):
         with pytest.raises(ValueError, match="unknown combo"):
             main(["run", "--faults", self.SMOKE_PLAN, "--combo", "Z"])
+
+
+class TestServeCommand:
+    def test_serve_poisson_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--arrivals", "poisson",
+                    "--rate", "2000",
+                    "--horizon", "0.02",
+                    "--tenants", "2",
+                    "--slo", "10",
+                    "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "attainment" in out
+        assert "tenant-0" in out and "tenant-1" in out
+
+    def test_serve_is_deterministic(self, capsys):
+        argv = [
+            "serve", "--rate", "2000", "--horizon", "0.02",
+            "--tenants", "2", "--slo", "10", "--seed", "5",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_writes_json_report(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve", "--rate", "1000", "--horizon", "0.01",
+                    "--tenants", "2", "--slo", "5", "--scheduler", "global",
+                    "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        for key in ("scheduler", "slo_ms", "tenants", "utilisation",
+                    "slo_attainment", "shed_rate"):
+            assert key in payload
+        assert payload["slo_ms"] == 5.0
+        assert set(payload["tenants"]) == {"tenant-0", "tenant-1"}
+
+    def test_serve_trace_arrivals(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.json"
+        trace.write_text(json.dumps([
+            {"time": 0.0001, "tenant": "web"},
+            {"time": 0.0002, "tenant": "batch", "kernel": "gemm"},
+        ]))
+        assert (
+            main(["serve", "--arrivals", "trace", "--trace-file", str(trace)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "web" in out and "batch" in out
+
+    def test_serve_trace_needs_file(self, capsys):
+        assert main(["serve", "--arrivals", "trace"]) == 2
+        assert "--trace-file" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_args(self, capsys):
+        assert main(["serve", "--tenants", "0"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+        assert main(["serve", "--slo", "-1"]) == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_serve_with_fault_plan(self, capsys):
+        plan = TestFaultsCommand.SMOKE_PLAN
+        assert (
+            main(
+                [
+                    "serve", "--rate", "2000", "--horizon", "0.02",
+                    "--tenants", "2", "--slo", "10", "--faults", plan,
+                    "--system", "gnn",
+                ]
+            )
+            == 0
+        )
+        assert "attainment" in capsys.readouterr().out
