@@ -11,6 +11,8 @@ Usage::
     python -m repro trace collab --scheduler adaptive --json out.json
     python -m repro bench --quick        # timed perf suite -> BENCH_<date>.json
     python -m repro serve --arrivals poisson --rate 50 --tenants 3 --slo 10
+    python -m repro predictor train --dataset collab --out pred.json
+    python -m repro serve --predictor online   # self-training serve run
 """
 
 from __future__ import annotations
@@ -189,6 +191,90 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _predictor_eval_rows(predictor, jobs) -> list[tuple[str, int, float, float]]:
+    """Per-memory (kind, n, r2, rel_rmse) of unit-compute predictions."""
+    import numpy as np
+
+    from .ml import r2_score, relative_rmse
+
+    kinds = sorted(
+        {kind for job in jobs for kind in job.profiles}, key=lambda k: k.value
+    )
+    rows = []
+    for kind in kinds:
+        actual = np.array([job.profile(kind).t_compute_unit for job in jobs])
+        predicted = np.array(
+            [predictor.predict_unit_compute(job, kind) for job in jobs]
+        )
+        rows.append(
+            (
+                kind.value,
+                len(jobs),
+                r2_score(np.log(actual), np.log(predicted)),
+                relative_rmse(actual, predicted),
+            )
+        )
+    return rows
+
+
+def cmd_predictor(args: argparse.Namespace) -> int:
+    """Train, evaluate, or export a reusable MLP predictor artifact."""
+    from .core.predictor import MLPPredictor
+
+    if args.action == "train":
+        from .harness.gnn import build_workload
+
+        workload = build_workload(args.dataset)
+        predictor = MLPPredictor(epochs=args.epochs, seed=args.seed)
+        predictor.train(workload.training_jobs)
+        path = predictor.save(args.out)
+        print(f"trained on {len(workload.training_jobs)} held-out "
+              f"{args.dataset} SpMM jobs; wrote {path}")
+        for kind, n, r2, rel in _predictor_eval_rows(
+            predictor, workload.spmm_jobs()
+        ):
+            print(f"{kind:6s} n={n:4d}  log-R2 {r2:6.3f}  rel-RMSE {rel:6.3f}")
+        return 0
+
+    predictor = MLPPredictor.load(args.model)
+    if args.action == "eval":
+        from .harness.gnn import build_workload
+
+        workload = build_workload(args.dataset)
+        rows = _predictor_eval_rows(predictor, workload.spmm_jobs())
+        worst = 0.0
+        for kind, n, r2, rel in rows:
+            print(f"{kind:6s} n={n:4d}  log-R2 {r2:6.3f}  rel-RMSE {rel:6.3f}")
+            worst = max(worst, rel)
+        if args.max_rel_rmse is not None and worst > args.max_rel_rmse:
+            print(
+                f"FAIL: worst rel-RMSE {worst:.3f} exceeds the "
+                f"--max-rel-rmse {args.max_rel_rmse} gate",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # export: summarise the artifact; --out re-writes the canonical
+    # JSON (byte-identical for an untouched artifact).
+    state = predictor.to_dict()
+    kinds = sorted(state.get("cycle_models", {}))
+    print(
+        f"mlimp-predictor v{state['version']}  "
+        f"hidden={tuple(state['hidden'])}  epochs={state['epochs']}  "
+        f"seed={state['seed']}"
+    )
+    print(
+        f"features: {state['feature_schema']['n_features']} "
+        f"({state['feature_schema']['transform']})"
+    )
+    print(f"cycle models: {', '.join(kinds) if kinds else 'none (untrained)'}")
+    if args.out:
+        path = predictor.save(args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Open-system serving run: arrivals, admission, per-tenant SLOs."""
     import json
@@ -239,8 +325,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ]
     faults = FaultPlan.load(args.faults) if args.faults else None
     system = gnn_system() if args.system == "gnn" else full_system()
+    predictor = None
+    if args.predictor == "online":
+        from .core.predictor import OnlinePredictor
+
+        predictor = OnlinePredictor(seed=args.seed)
+    elif args.predictor != "oracle":
+        from .core.predictor import MLPPredictor
+
+        predictor = MLPPredictor.load(args.predictor)
     runtime = ServingRuntime(
-        system, scheduler=args.scheduler, max_backlog=args.max_backlog
+        system,
+        scheduler=args.scheduler,
+        max_backlog=args.max_backlog,
+        predictor=predictor,
     )
     serving = runtime.serve(
         process,
@@ -250,14 +348,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         label=f"{args.scheduler}/serve",
     )
     print(serving.report)
+    lifecycle = getattr(predictor, "counters", None)
+    if lifecycle:
+        print("predictor lifecycle:")
+        for name in sorted(lifecycle):
+            print(f"  {name:32s} {lifecycle[name]}")
     if args.json:
         from pathlib import Path
 
+        payload = serving.report.as_dict()
+        if lifecycle:
+            payload["predictor"] = {
+                name: lifecycle[name] for name in sorted(lifecycle)
+            }
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(serving.report.as_dict(), indent=2, sort_keys=True)
-        )
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.json}")
     return 0
 
@@ -419,6 +525,49 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="write the SLO report as JSON",
     )
+    serve.add_argument(
+        "--predictor", metavar="WHICH", default="oracle",
+        help="'oracle' (default), 'online' for a self-training "
+        "OnlinePredictor fed by completion actuals, or the path of a "
+        "saved predictor artifact from 'predictor train'",
+    )
+    predictor = sub.add_parser(
+        "predictor",
+        help="train, evaluate, or export a reusable MLP predictor "
+        "artifact (JSON weights + scalers + feature schema)",
+    )
+    predictor.add_argument(
+        "action",
+        choices=["train", "eval", "export"],
+        help="train on a dataset's held-out SpMM jobs, eval a saved "
+        "artifact against a dataset, or summarise/re-write an artifact",
+    )
+    predictor.add_argument(
+        "--dataset", default="collab",
+        help="GNN dataset for train/eval (default: collab)",
+    )
+    predictor.add_argument(
+        "--epochs", type=int, default=250,
+        help="training epochs per stage (default: 250)",
+    )
+    predictor.add_argument(
+        "--seed", type=int, default=0,
+        help="training seed; same seed -> byte-identical artifact",
+    )
+    predictor.add_argument(
+        "--model", metavar="PATH", default=None,
+        help="saved artifact for eval/export",
+    )
+    predictor.add_argument(
+        "--out", metavar="PATH", default="predictor.json",
+        help="artifact output path for train/export (default: "
+        "predictor.json)",
+    )
+    predictor.add_argument(
+        "--max-rel-rmse", type=float, default=None, metavar="BOUND",
+        help="eval gate: exit 1 if any memory's relative RMSE exceeds "
+        "BOUND",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -431,6 +580,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "predictor":
+        if args.action in {"eval", "export"} and not args.model:
+            print(f"predictor {args.action} needs --model PATH", file=sys.stderr)
+            return 2
+        return cmd_predictor(args)
     if args.faults is not None:
         if args.names:
             print(

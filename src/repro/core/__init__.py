@@ -15,6 +15,7 @@ from .predictor import (
     MLPPredictor,
     NaiveThresholdClassifier,
     NoisyPredictor,
+    OnlinePredictor,
     OraclePredictor,
     PerformancePredictor,
     naive_metric,
@@ -52,6 +53,7 @@ __all__ = [
     "MLPPredictor",
     "NaiveThresholdClassifier",
     "NoisyPredictor",
+    "OnlinePredictor",
     "OraclePredictor",
     "PerformancePredictor",
     "naive_metric",

@@ -183,6 +183,7 @@ class Dispatcher:
         label: str = "",
         faults: FaultPlan | None = None,
         open_loop: "OpenLoop | None" = None,
+        predictor: object | None = None,
     ) -> DispatchResult:
         """Execute one batch under ``policy``.
 
@@ -203,7 +204,17 @@ class Dispatcher:
         consulting the policy for dispatches.  With no arrivals the
         open loop adds **zero** sim events and no metric series, so a
         zero-rate serving run is byte-identical to the closed path.
+
+        ``predictor`` closes the lifecycle loop: if it exposes an
+        ``on_completion(job, kind, now, metrics)`` hook (see
+        :class:`repro.core.predictor.OnlinePredictor`), every job
+        completion feeds the measured profile back into it -- after
+        the policy's own completion callback, so scheduling decisions
+        never observe mid-completion model updates.  Predictors
+        without the hook are ignored here (they only shape estimates
+        inside the policy).
         """
+        predictor_hook = getattr(predictor, "on_completion", None)
         sim = Simulator()
         pipe = SharedBandwidthPipe(sim, self.ddr4)
         trace = ExecutionTrace()
@@ -646,6 +657,8 @@ class Dispatcher:
                 array_gauges[kind].set(sim.now, device.allocator.used_arrays)
                 decisions.complete(job.job_id, record.latency)
                 policy.notify_completion(job, kind, sim.now)
+                if predictor_hook is not None:
+                    predictor_hook(job, kind, sim.now, metrics)
                 if injector is not None:
                     # Freed capacity goes to migrated/retried jobs first.
                     drain_parked(kind)

@@ -27,12 +27,16 @@ queue-balancing algorithms operate on.
 from __future__ import annotations
 
 import hashlib
+import json
+import math
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from ..memories.base import MemoryKind
-from ..ml import MLPRegressor
+from ..ml import DriftTracker, MLPRegressor, ReplayBuffer
 from .job import Job
 from .perfmodel import (
     DEFAULT_BETA,
@@ -46,9 +50,22 @@ __all__ = [
     "OraclePredictor",
     "NoisyPredictor",
     "MLPPredictor",
+    "OnlinePredictor",
+    "default_online_features",
+    "profile_features",
     "naive_metric",
     "NaiveThresholdClassifier",
 ]
+
+#: Log-domain clamp margin around the training-target range.  Stage-2
+#: predictions are exponentiated; clamping to [min(log y) - margin,
+#: max(log y) + margin] keeps a bad extrapolation finite (e^margin ~ 7x
+#: headroom beyond the observed range) instead of handing the
+#: scheduler an overflowed estimate.
+LOG_CLAMP_MARGIN = 2.0
+
+#: Serialisation schema version for :meth:`MLPPredictor.to_dict`.
+PREDICTOR_STATE_VERSION = 1
 
 
 class PerformancePredictor:
@@ -133,6 +150,10 @@ class MLPPredictor(PerformancePredictor):
     seed: int = 0
     _hw_model: MLPRegressor | None = field(default=None, repr=False)
     _cycle_models: dict[MemoryKind, MLPRegressor] = field(default_factory=dict, repr=False)
+    _log_bounds: dict[MemoryKind, tuple[float, float]] = field(
+        default_factory=dict, repr=False
+    )
+    _n_features: int | None = field(default=None, repr=False)
     _oracle: OraclePredictor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -164,72 +185,429 @@ class MLPPredictor(PerformancePredictor):
         # learns their log-domain relationships far more easily.
         return np.log1p(raw)
 
-    # ------------------------------------------------------------------
-    def train(self, jobs: list[Job]) -> "MLPPredictor":
-        """Fit both stages on training SpMM jobs of one mother graph."""
+    @staticmethod
+    def _spmm_training_jobs(jobs: list[Job], minimum: int) -> list[Job]:
         spmm_jobs = [j for j in jobs if j.kernel == "spmm" and j.metadata is not None]
-        if len(spmm_jobs) < 8:
-            raise ValueError("need at least 8 SpMM jobs to train the predictor")
-        kinds = sorted(
-            {kind for job in spmm_jobs for kind in job.profiles}, key=lambda k: k.value
+        if len(spmm_jobs) < minimum:
+            raise ValueError(
+                f"need at least {minimum} SpMM jobs, got {len(spmm_jobs)}"
+            )
+        return spmm_jobs
+
+    @staticmethod
+    def _kinds_of(jobs: list[Job]) -> list[MemoryKind]:
+        return sorted(
+            {kind for job in jobs for kind in job.profiles}, key=lambda k: k.value
         )
 
-        # Stage 1: H_w from metadata (+ the strip width w as a feature).
+    def _stage1_rows(
+        self, jobs: list[Job], kinds: list[MemoryKind]
+    ) -> tuple[np.ndarray, np.ndarray]:
         hw_X, hw_y = [], []
-        for job in spmm_jobs:
+        for job in jobs:
             for kind in kinds:
                 width = self._strip_width(job, kind)
                 hw_X.append(self._features(job, width))
                 hw_y.append(self._true_hw(job, kind))
+        return np.asarray(hw_X), np.log1p(np.asarray(hw_y, dtype=float))
+
+    def _stage2_rows(
+        self, jobs: list[Job], kind: MemoryKind
+    ) -> tuple[np.ndarray, np.ndarray]:
+        X_rows, y_rows = [], []
+        for job in jobs:
+            X_rows.append(self._stage2_features(job, kind))
+            y_rows.append(job.profile(kind).t_compute_unit)
+        return np.asarray(X_rows), np.log(np.asarray(y_rows, dtype=float))
+
+    @staticmethod
+    def _merge_bounds(
+        previous: tuple[float, float] | None, log_y: np.ndarray
+    ) -> tuple[float, float]:
+        lo = float(log_y.min()) - LOG_CLAMP_MARGIN
+        hi = float(log_y.max()) + LOG_CLAMP_MARGIN
+        if previous is not None:
+            lo, hi = min(lo, previous[0]), max(hi, previous[1])
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    def train(self, jobs: list[Job]) -> "MLPPredictor":
+        """Fit both stages on training SpMM jobs of one mother graph."""
+        spmm_jobs = self._spmm_training_jobs(jobs, minimum=8)
+        kinds = self._kinds_of(spmm_jobs)
+
+        # Stage 1: H_w from metadata (+ the strip width w as a feature).
+        hw_X, hw_y = self._stage1_rows(spmm_jobs, kinds)
+        self._n_features = hw_X.shape[1]
         self._hw_model = MLPRegressor(
             hidden=self.hidden, epochs=self.epochs, seed=self.seed
-        ).fit(np.asarray(hw_X), np.log1p(np.asarray(hw_y, dtype=float)))
+        ).fit(hw_X, hw_y)
 
         # Stage 2: per-memory cycle counts from metadata + predicted H_w.
         self._cycle_models = {}
+        self._log_bounds = {}
         for kind in kinds:
-            X_rows, y_rows = [], []
-            for job in spmm_jobs:
-                width = self._strip_width(job, kind)
-                features = self._features(job, width)
-                hw_hat = self._predict_hw(features)
-                X_rows.append(np.concatenate([features, [hw_hat]]))
-                y_rows.append(job.profile(kind).t_compute_unit)
+            X_rows, log_y = self._stage2_rows(spmm_jobs, kind)
             self._cycle_models[kind] = MLPRegressor(
                 hidden=self.hidden, epochs=self.epochs, seed=self.seed + 1
-            ).fit(np.asarray(X_rows), np.log(np.asarray(y_rows, dtype=float)))
+            ).fit(X_rows, log_y)
+            self._log_bounds[kind] = self._merge_bounds(None, log_y)
+        return self
+
+    def partial_fit(self, jobs: list[Job]) -> "MLPPredictor":
+        """Warm-start both stages on a fresh batch of SpMM jobs.
+
+        An untrained predictor delegates to :meth:`train`.  Otherwise
+        stage 1 is updated first and stage 2 re-derives its ``H_w``
+        feature from the *updated* stage 1, exactly as :meth:`train`
+        does, so train-time and inference-time feature pipelines stay
+        identical.  Clamp bounds widen to cover the new targets.
+        """
+        if self._hw_model is None:
+            return self.train(jobs)
+        spmm_jobs = self._spmm_training_jobs(jobs, minimum=1)
+        kinds = self._kinds_of(spmm_jobs)
+        hw_X, hw_y = self._stage1_rows(spmm_jobs, kinds)
+        self._hw_model.partial_fit(hw_X, hw_y)
+        for kind in kinds:
+            X_rows, log_y = self._stage2_rows(spmm_jobs, kind)
+            model = self._cycle_models.get(kind)
+            if model is None:
+                model = MLPRegressor(
+                    hidden=self.hidden, epochs=self.epochs, seed=self.seed + 1
+                )
+                self._cycle_models[kind] = model
+            model.partial_fit(X_rows, log_y)
+            self._log_bounds[kind] = self._merge_bounds(
+                self._log_bounds.get(kind), log_y
+            )
         return self
 
     def _predict_hw(self, features: np.ndarray) -> float:
+        # The one stage-1 definition: clamped at 0 (a negative array
+        # count is meaningless) and used identically for training
+        # stage 2, `predict_hw`, and `predict_unit_compute` -- any
+        # train/inference skew here poisons the cycle model's H_w
+        # feature.
         assert self._hw_model is not None
-        return float(np.expm1(self._hw_model.predict(features)))
+        return max(0.0, float(np.expm1(self._hw_model.predict(features))))
+
+    def _stage2_features(self, job: Job, kind: MemoryKind) -> np.ndarray:
+        width = self._strip_width(job, kind)
+        features = self._features(job, width)
+        return np.concatenate([features, [self._predict_hw(features)]])
 
     def predict_hw(self, job: Job, kind: MemoryKind) -> float:
         """Predicted ``H_w`` for one job (stage-1 output)."""
         if self._hw_model is None:
             raise RuntimeError("predictor is not trained")
         width = self._strip_width(job, kind)
-        return max(0.0, self._predict_hw(self._features(job, width)))
+        return self._predict_hw(self._features(job, width))
 
     def predict_unit_compute(self, job: Job, kind: MemoryKind) -> float:
-        """Predicted unit-allocation compute time (stage-2 output)."""
+        """Predicted unit-allocation compute time (stage-2 output).
+
+        The log-domain prediction is clamped to the training-target
+        range (plus :data:`LOG_CLAMP_MARGIN`) before exponentiation, so
+        the result is always finite and positive even on pathological
+        extrapolations.
+        """
         if kind not in self._cycle_models:
             raise RuntimeError(f"predictor not trained for {kind}")
-        width = self._strip_width(job, kind)
-        features = self._features(job, width)
-        hw_hat = self._predict_hw(features)
-        x = np.concatenate([features, [hw_hat]])
-        return float(np.exp(self._cycle_models[kind].predict(x)))
+        x = self._stage2_features(job, kind)
+        raw = float(self._cycle_models[kind].predict(x))
+        lo, hi = self._log_bounds[kind]
+        return float(np.exp(min(max(raw, lo), hi)))
 
     def estimate(self, job: Job, kind: MemoryKind):
-        if job.kernel != "spmm" or job.metadata is None or not self._cycle_models:
+        if job.kernel != "spmm" or job.metadata is None:
+            # Deterministic kernels are costed exactly at compile time
+            # (III-E); no learning is involved.
             return self._oracle.estimate(job, kind)
+        if not self._cycle_models:
+            # An untrained predictor must not silently report
+            # oracle-grade accuracy; OnlinePredictor is the wrapper
+            # that turns this into a counted fallback.
+            raise RuntimeError(
+                "MLPPredictor is untrained; call train() before estimating "
+                "SpMM jobs (or use OnlinePredictor for counted fallbacks)"
+            )
         beta = self.betas.get(job.kernel, DEFAULT_BETA)
         return estimate_from_profile(
             job.profile(kind),
             t_compute_unit=self.predict_unit_compute(job, kind),
             beta=beta,
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready artifact: weights, scalers, feature schema."""
+        payload: dict = {
+            "format": "mlimp-predictor",
+            "version": PREDICTOR_STATE_VERSION,
+            "betas": dict(self.betas),
+            "hidden": list(self.hidden),
+            "epochs": self.epochs,
+            "seed": self.seed,
+            "feature_schema": {
+                "n_features": self._n_features,
+                "transform": "log1p(metadata.as_features(strip_width))",
+            },
+            "trained": self._hw_model is not None,
+        }
+        if self._hw_model is not None:
+            payload["hw_model"] = self._hw_model.to_dict()
+            payload["cycle_models"] = {
+                kind.value: model.to_dict()
+                for kind, model in sorted(
+                    self._cycle_models.items(), key=lambda kv: kv[0].value
+                )
+            }
+            payload["log_bounds"] = {
+                kind.value: list(bounds)
+                for kind, bounds in sorted(
+                    self._log_bounds.items(), key=lambda kv: kv[0].value
+                )
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MLPPredictor":
+        """Rebuild a predictor saved with :meth:`to_dict`."""
+        if payload.get("format") != "mlimp-predictor":
+            raise ValueError("not an mlimp-predictor artifact")
+        version = payload.get("version")
+        if version != PREDICTOR_STATE_VERSION:
+            raise ValueError(
+                f"unsupported predictor state version {version!r} "
+                f"(this build reads version {PREDICTOR_STATE_VERSION})"
+            )
+        predictor = cls(
+            betas=dict(payload.get("betas", {})),
+            hidden=tuple(payload["hidden"]),
+            epochs=int(payload["epochs"]),
+            seed=int(payload["seed"]),
+        )
+        predictor._n_features = payload["feature_schema"]["n_features"]
+        if payload.get("trained"):
+            predictor._hw_model = MLPRegressor.from_dict(payload["hw_model"])
+            predictor._cycle_models = {
+                MemoryKind(value): MLPRegressor.from_dict(state)
+                for value, state in payload["cycle_models"].items()
+            }
+            predictor._log_bounds = {
+                MemoryKind(value): (float(lo), float(hi))
+                for value, (lo, hi) in payload["log_bounds"].items()
+            }
+        return predictor
+
+    def save(self, path) -> Path:
+        """Write the canonical JSON artifact (sorted keys, so saving
+        the same state twice is byte-identical)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "MLPPredictor":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Online learning from dispatch actuals.
+# ----------------------------------------------------------------------
+def profile_features(job: Job, kind: MemoryKind) -> np.ndarray:
+    """Features observable from a job's analytical profile.
+
+    Serve-path jobs (``serving.workload.OpenWorkload``) carry no
+    subgraph metadata, so the online model learns from the profile
+    fields a compiler *would* know ahead of execution.  The target --
+    ``t_compute_unit`` -- is deliberately absent.
+    """
+    profile = job.profile(kind)
+    return np.log1p(
+        np.array(
+            [
+                profile.unit_arrays,
+                profile.waves_unit,
+                profile.n_iter,
+                profile.fill_bytes,
+                profile.t_load * 1e9,
+                profile.t_replica_unit * 1e9,
+            ]
+        )
+    )
+
+
+def default_online_features(job: Job, kind: MemoryKind) -> np.ndarray:
+    """Metadata features when the job has them, profile features otherwise."""
+    if job.metadata is not None:
+        widths = job.tags.get("strip_width")
+        width = (
+            int(widths[kind])
+            if isinstance(widths, dict) and kind in widths
+            else 128
+        )
+        return np.log1p(job.metadata.as_features(width))  # type: ignore[attr-defined]
+    return profile_features(job, kind)
+
+
+@dataclass
+class OnlinePredictor(PerformancePredictor):
+    """Self-training predictor fed by dispatcher completion feedback.
+
+    The lifecycle loop (ROADMAP "production-scale serving"): every job
+    completion hands the predictor ``(features, actual unit-compute)``
+    through :meth:`on_completion`; observations land in a bounded
+    :class:`~repro.ml.ReplayBuffer` per memory kind; every
+    ``retrain_every`` completions the per-kind model retrains via
+    :meth:`MLPRegressor.partial_fit` (first time: ``fit``); a
+    :class:`~repro.ml.DriftTracker` scores rolling relative-RMSE of
+    predictions against actuals and, while it exceeds ``drift_bound``
+    (or before the first training round), :meth:`estimate` falls back
+    to the analytical ``fallback`` predictor -- counted, never silent.
+
+    Counters (``predictor.observations``, ``predictor.retrains``,
+    ``predictor.fallback`` + ``.untrained``/``.drift`` causes,
+    ``predictor.estimates``) accumulate internally and are flushed into
+    the dispatcher's :class:`~repro.obs.metrics.MetricsRegistry` by the
+    completion hook, so they ride along in the obs export.
+    """
+
+    fallback: PerformancePredictor = field(default_factory=OraclePredictor)
+    betas: dict[str, float] = field(default_factory=dict)
+    hidden: tuple[int, ...] = (16, 8)
+    train_epochs: int = 80
+    update_epochs: int = 25
+    batch_size: int = 16
+    retrain_every: int = 32
+    min_samples: int = 16
+    drift_bound: float = 0.5
+    drift_window: int = 64
+    capacity: int = 512
+    seed: int = 0
+    feature_fn: Callable[[Job, MemoryKind], np.ndarray] = default_online_features
+
+    def __post_init__(self) -> None:
+        if self.retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
+        self._models: dict[MemoryKind, MLPRegressor] = {}
+        self._buffers: dict[MemoryKind, ReplayBuffer] = {}
+        self._drift: dict[MemoryKind, DriftTracker] = {}
+        self._log_bounds: dict[MemoryKind, tuple[float, float]] = {}
+        self._since_retrain: dict[MemoryKind, int] = {}
+        self._counters: dict[str, int] = {}
+        self._unsynced: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+        self._unsynced[name] = self._unsynced.get(name, 0) + amount
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """All lifecycle counters accumulated so far."""
+        return dict(self._counters)
+
+    def _buffer_for(self, kind: MemoryKind) -> ReplayBuffer:
+        if kind not in self._buffers:
+            self._buffers[kind] = ReplayBuffer(self.capacity)
+        return self._buffers[kind]
+
+    def _drift_for(self, kind: MemoryKind) -> DriftTracker:
+        if kind not in self._drift:
+            self._drift[kind] = DriftTracker(
+                window=self.drift_window,
+                min_samples=min(self.min_samples, self.drift_window),
+            )
+        return self._drift[kind]
+
+    def _predict_unit(self, model: MLPRegressor, kind: MemoryKind, x) -> float:
+        raw = float(model.predict(x))
+        lo, hi = self._log_bounds[kind]
+        return float(math.exp(min(max(raw, lo), hi)))
+
+    # ------------------------------------------------------------------
+    def estimate(self, job: Job, kind: MemoryKind):
+        model = self._models.get(kind)
+        if model is None:
+            self._count("predictor.fallback")
+            self._count("predictor.fallback.untrained")
+            return self.fallback.estimate(job, kind)
+        if self._drift_for(kind).drifting(self.drift_bound):
+            self._count("predictor.fallback")
+            self._count("predictor.fallback.drift")
+            return self.fallback.estimate(job, kind)
+        t_unit = self._predict_unit(model, kind, self.feature_fn(job, kind))
+        self._count("predictor.estimates")
+        return estimate_from_profile(
+            job.profile(kind),
+            t_compute_unit=t_unit,
+            beta=self.betas.get(job.kernel, DEFAULT_BETA),
+        )
+
+    # ------------------------------------------------------------------
+    def on_completion(self, job: Job, kind: MemoryKind, now: float, metrics=None) -> None:
+        """Dispatcher completion hook: harvest the actual, maybe retrain.
+
+        ``metrics`` is the run's :class:`MetricsRegistry`; when given,
+        unsynced counter deltas and the current drift value are flushed
+        into it so exports see the lifecycle state.
+        """
+        try:
+            actual = job.profile(kind).t_compute_unit
+        except KeyError:
+            return
+        if actual <= 0.0:
+            return
+        x = self.feature_fn(job, kind)
+        self._buffer_for(kind).add(x, math.log(actual))
+        self._count("predictor.observations")
+
+        model = self._models.get(kind)
+        if model is not None:
+            self._drift_for(kind).add(actual, self._predict_unit(model, kind, x))
+
+        self._since_retrain[kind] = self._since_retrain.get(kind, 0) + 1
+        buffer = self._buffer_for(kind)
+        if (
+            self._since_retrain[kind] >= self.retrain_every
+            and len(buffer) >= self.min_samples
+        ):
+            self._retrain(kind, buffer)
+        if metrics is not None:
+            self._sync(metrics, kind, now)
+
+    def _retrain(self, kind: MemoryKind, buffer: ReplayBuffer) -> None:
+        X, log_y = buffer.arrays()
+        model = self._models.get(kind)
+        if model is None:
+            model = MLPRegressor(
+                hidden=self.hidden,
+                epochs=self.train_epochs,
+                batch_size=self.batch_size,
+                seed=self.seed + list(MemoryKind).index(kind),
+            ).fit(X, log_y)
+            self._models[kind] = model
+        else:
+            model.partial_fit(X, log_y, epochs=self.update_epochs)
+        self._log_bounds[kind] = (
+            float(log_y.min()) - LOG_CLAMP_MARGIN,
+            float(log_y.max()) + LOG_CLAMP_MARGIN,
+        )
+        # Pre-update errors must not keep the fresh model gated.
+        self._drift_for(kind).reset()
+        self._since_retrain[kind] = 0
+        self._count("predictor.retrains")
+
+    def _sync(self, metrics, kind: MemoryKind, now: float) -> None:
+        for name, delta in self._unsynced.items():
+            if delta:
+                metrics.counter(name).inc(delta)
+        self._unsynced.clear()
+        drift = self._drift_for(kind).value()
+        if drift is not None:
+            metrics.gauge(f"predictor.drift.{kind.value}").set(now, drift)
 
 
 # ----------------------------------------------------------------------

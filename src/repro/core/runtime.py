@@ -172,8 +172,14 @@ class MLIMPRuntime:
             )
             fault_free_makespan = baseline.makespan
         policy = scheduler.plan(jobs, self.system)
+        # The completion hook feeds only the main run -- the fault-free
+        # baseline above would otherwise train the predictor twice on
+        # the same batch.
         result = Dispatcher(self.system, self.ddr4).run(
-            policy, label=label or scheduler.name, faults=faults
+            policy,
+            label=label or scheduler.name,
+            faults=faults,
+            predictor=self.predictor,
         )
         if fault_free_makespan is not None:
             result.fault_free_makespan = fault_free_makespan

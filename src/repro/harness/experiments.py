@@ -775,11 +775,13 @@ def full_registry() -> dict:
     ablations under ``ablation-<name>`` plus the open-system serving
     comparisons (the CLI's namespace)."""
     from .ablations import ABLATIONS
+    from .predictor import LIFECYCLE_EXPERIMENTS
     from .serving import SERVING_EXPERIMENTS
 
     registry = dict(EXPERIMENTS)
     registry.update({f"ablation-{name}": fn for name, fn in ABLATIONS.items()})
     registry.update(SERVING_EXPERIMENTS)
+    registry.update(LIFECYCLE_EXPERIMENTS)
     return registry
 
 

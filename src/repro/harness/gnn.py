@@ -200,15 +200,24 @@ def run_workload(
     workload: GNNWorkload,
     scheduler: Scheduler,
     jobs_per_batch: list[list[Job]] | None = None,
+    predictor=None,
 ) -> BatchRunSummary:
     """Run every batch (batches are the scheduling unit, as in the
-    paper's batched inference)."""
+    paper's batched inference).
+
+    ``predictor`` forwards to :meth:`Dispatcher.run`: an object with an
+    ``on_completion`` hook (e.g. ``OnlinePredictor``) sees every
+    completion across the whole batch sequence, so online learning
+    carries over from batch to batch.
+    """
     dispatcher = Dispatcher(workload.system)
     results = []
     batches = jobs_per_batch if jobs_per_batch is not None else workload.jobs_per_batch
     for jobs in batches:
         policy = scheduler.plan(jobs, workload.system)
-        results.append(dispatcher.run(policy, label=scheduler.name))
+        results.append(
+            dispatcher.run(policy, label=scheduler.name, predictor=predictor)
+        )
     return BatchRunSummary(
         scheduler_name=scheduler.name,
         total_makespan=sum(r.makespan for r in results),

@@ -1,0 +1,172 @@
+"""Predictor-lifecycle experiment: the Fig. 15 sweep plus online arm.
+
+The paper's Fig. 15 compares scheduler quality under the oracle and
+the two-stage MLP predictor.  This harness widens the sweep with the
+two cost models a real deployment would weigh against them:
+
+* ``naive`` -- a per-memory linear model on the paper's naive metric
+  ``nnz / H_w`` (III-E, Fig. 10), the "cheap heuristic" arm;
+* ``online`` -- :class:`~repro.core.predictor.OnlinePredictor`
+  starting untrained and learning from dispatcher completion actuals
+  across the batch sequence (the lifecycle loop: fallback -> observe
+  -> retrain -> predict).
+
+All arms run the same SpMM batches through the adaptive and global
+schedulers; the figure of merit is total makespan, so a worse cost
+model shows up directly as worse scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.perfmodel import DEFAULT_BETA, estimate_from_profile
+from ..core.predictor import (
+    MLPPredictor,
+    OnlinePredictor,
+    OraclePredictor,
+    PerformancePredictor,
+    naive_metric,
+)
+from ..core.scheduler import AdaptiveScheduler, GlobalScheduler
+from ..memories.base import MemoryKind
+from .gnn import run_workload
+from .reporting import Report
+
+__all__ = [
+    "NaiveMetricPredictor",
+    "predictor_lifecycle",
+    "LIFECYCLE_EXPERIMENTS",
+]
+
+
+@dataclass
+class NaiveMetricPredictor(PerformancePredictor):
+    """Linear cost model on the naive ``nnz / H_w`` metric.
+
+    The heuristic is one-dimensional (paper III-E, Fig. 10): a single
+    metric with a single threshold/scale.  Accordingly one scale
+    factor is fitted by least squares through the origin over all
+    memories pooled (``t_compute_unit ~ alpha * metric``) -- it cannot
+    calibrate per memory, which is exactly the cross-memory ranking
+    weakness Fig. 10 exposes.  Deterministic kernels use the oracle
+    path, mirroring :class:`MLPPredictor`.
+    """
+
+    _alpha: float | None = field(default=None, repr=False)
+    _oracle: OraclePredictor = field(default_factory=OraclePredictor, repr=False)
+
+    def fit(self, jobs) -> "NaiveMetricPredictor":
+        spmm = [j for j in jobs if j.kernel == "spmm" and j.metadata is not None]
+        if not spmm:
+            raise ValueError("need SpMM jobs with metadata to fit")
+        kinds = sorted(
+            {kind for job in spmm for kind in job.profiles}, key=lambda k: k.value
+        )
+        metric = np.array(
+            [naive_metric(job, kind) for job in spmm for kind in kinds]
+        )
+        actual = np.array(
+            [job.profile(kind).t_compute_unit for job in spmm for kind in kinds]
+        )
+        denom = float(np.sum(metric**2))
+        if denom == 0.0:
+            raise ValueError("degenerate naive metric")
+        self._alpha = float(np.sum(metric * actual) / denom)
+        return self
+
+    def estimate(self, job, kind: MemoryKind):
+        if job.kernel != "spmm" or job.metadata is None:
+            return self._oracle.estimate(job, kind)
+        if self._alpha is None:
+            raise RuntimeError("naive predictor is not fitted")
+        t_unit = max(self._alpha * naive_metric(job, kind), 1e-18)
+        return estimate_from_profile(
+            job.profile(kind), t_compute_unit=t_unit, beta=DEFAULT_BETA
+        )
+
+
+def predictor_lifecycle(dataset: str = "citation") -> Report:
+    """Fig. 15 sweep widened with naive and online-learning arms.
+
+    Expected ordering: oracle <= mlp < naive on total makespan (the
+    MLP's ~few-percent unit-compute error barely moves the schedule;
+    the one-dimensional naive metric misranks jobs).  The online arm
+    starts as pure counted fallback and converges towards the MLP as
+    completions accumulate.
+    """
+    from .experiments import _workload
+
+    workload = _workload(dataset)
+    spmm_per_batch = [
+        [job for job in jobs if job.kernel == "spmm"]
+        for jobs in workload.jobs_per_batch
+    ]
+    mlp = workload.train_predictor()
+    naive = NaiveMetricPredictor().fit(workload.training_jobs)
+
+    report = Report(
+        title=f"Predictor lifecycle -- Fig. 15 sweep + online arm ({dataset})",
+        columns=["scheduler", "predictor", "total_time", "vs_best"],
+    )
+    results: dict[tuple[str, str], float] = {}
+    online_counters: dict[str, dict[str, int]] = {}
+    for scheduler_cls in (AdaptiveScheduler, GlobalScheduler):
+        arms: list[tuple[str, PerformancePredictor]] = [
+            ("oracle", OraclePredictor()),
+            ("naive", naive),
+            ("mlp", mlp),
+            # Fresh per scheduler: each arm lives one lifecycle from
+            # untrained fallback to drift-gated online model.
+            (
+                "online",
+                OnlinePredictor(
+                    retrain_every=16,
+                    min_samples=12,
+                    drift_window=32,
+                    train_epochs=60,
+                    update_epochs=20,
+                ),
+            ),
+        ]
+        for pname, predictor in arms:
+            scheduler = scheduler_cls(predictor)
+            summary = run_workload(
+                workload,
+                scheduler,
+                jobs_per_batch=spmm_per_batch,
+                # Only the online arm consumes completions; passing the
+                # others is harmless (no on_completion hook).
+                predictor=predictor if pname == "online" else None,
+            )
+            results[(scheduler.name, pname)] = summary.total_makespan
+            if pname == "online":
+                online_counters[scheduler.name] = predictor.counters
+
+    best = min(results.values())
+    for (sname, pname), total in results.items():
+        report.add_row(sname, pname, total, round(total / best, 3))
+
+    for sname, counters in online_counters.items():
+        report.note(
+            f"{sname}/online lifecycle: "
+            f"{counters.get('predictor.observations', 0)} observations, "
+            f"{counters.get('predictor.retrains', 0)} retrains, "
+            f"{counters.get('predictor.fallback', 0)} fallbacks "
+            f"({counters.get('predictor.fallback.untrained', 0)} untrained, "
+            f"{counters.get('predictor.fallback.drift', 0)} drift)"
+        )
+    mlp_vs_naive = (
+        results[("global", "mlp")] / results[("global", "naive")]
+    )
+    report.note(
+        f"global: MLP makespan is {mlp_vs_naive:.3f}x the naive metric's "
+        "(expected < 1: the learned model out-schedules the heuristic)"
+    )
+    return report
+
+
+#: Registry fragment merged into ``full_registry`` (CLI namespace).
+LIFECYCLE_EXPERIMENTS = {"lifecycle": predictor_lifecycle}

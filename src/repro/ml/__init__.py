@@ -3,12 +3,15 @@
 from .forest import GradientBoostedTrees, RegressionTree
 from .metrics import r2_score, relative_rmse, rmse
 from .mlp import MLPRegressor
+from .online import DriftTracker, ReplayBuffer
 from .scaling import StandardScaler
 
 __all__ = [
+    "DriftTracker",
     "GradientBoostedTrees",
-    "RegressionTree",
     "MLPRegressor",
+    "RegressionTree",
+    "ReplayBuffer",
     "StandardScaler",
     "r2_score",
     "relative_rmse",

@@ -19,10 +19,13 @@ def r2_score(y_true, y_pred) -> float:
 
     Matches the convention the paper quotes (median R^2 of 0.998 for
     the scale-free fit, 0.995 for the cycle predictor): 1 minus the
-    ratio of residual to total sum of squares.  A constant target with
-    perfect predictions scores 1.0; a constant target with errors
-    scores -inf-like (we return 0.0 for the degenerate perfect case
-    and -inf otherwise is avoided by returning 0.0/1.0 explicitly).
+    ratio of residual to total sum of squares.
+
+    Degenerate case: when the target is constant, the total sum of
+    squares is zero and the usual formula would divide by zero.  We
+    return 1.0 if the predictions are exact and 0.0 otherwise --
+    i.e. any error on a constant target counts as no better than the
+    trivial mean predictor.
     """
     y_true = _as_1d(y_true)
     y_pred = _as_1d(y_pred)

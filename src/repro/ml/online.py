@@ -1,0 +1,117 @@
+"""Building blocks for the online predictor lifecycle.
+
+The paper trains its MLP cost model offline per mother graph (III-E);
+a serving deployment additionally needs the train/deploy/monitor/
+retrain loop.  This module holds the two generic, dependency-free
+pieces of that loop:
+
+* :class:`ReplayBuffer` -- a bounded FIFO of (features, target)
+  observations harvested from dispatcher job completions, replayed
+  into :meth:`MLPRegressor.partial_fit` at retraining time;
+* :class:`DriftTracker` -- a rolling window of (actual, predicted)
+  pairs scored with :func:`repro.ml.metrics.relative_rmse`, used to
+  gate the model behind the analytical fallback while its error
+  exceeds a bound.
+
+The dispatcher-facing wrapper that combines them with the two-stage
+predictor lives in :class:`repro.core.predictor.OnlinePredictor`
+(``core`` already imports ``ml``; keeping this module core-free avoids
+an import cycle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .metrics import relative_rmse
+
+__all__ = ["ReplayBuffer", "DriftTracker"]
+
+
+class ReplayBuffer:
+    """Bounded FIFO of (features, target) training observations.
+
+    Once ``capacity`` is reached the oldest observation is dropped, so
+    retraining always sees the most recent window of dispatch actuals.
+    All observations must share one feature length; the first ``add``
+    fixes it.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rows: deque[tuple[np.ndarray, float]] = deque(maxlen=capacity)
+        self._n_features: int | None = None
+
+    def add(self, features, target: float) -> None:
+        x = np.asarray(features, dtype=float).ravel()
+        if self._n_features is None:
+            if x.shape[0] == 0:
+                raise ValueError("features must be non-empty")
+            self._n_features = x.shape[0]
+        elif x.shape[0] != self._n_features:
+            raise ValueError(
+                f"feature length mismatch: buffer holds {self._n_features}, "
+                f"got {x.shape[0]}"
+            )
+        self._rows.append((x, float(target)))
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(X, y)`` of everything currently buffered."""
+        if not self._rows:
+            raise ValueError("buffer is empty")
+        X = np.stack([x for x, _ in self._rows])
+        y = np.array([t for _, t in self._rows])
+        return X, y
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class DriftTracker:
+    """Rolling relative-RMSE of model predictions against actuals.
+
+    ``value()`` is ``None`` until ``min_samples`` pairs have been seen
+    (fresh models get a grace window instead of an instant verdict);
+    after a retrain call :meth:`reset` so stale pre-update errors do
+    not keep the new model gated.
+    """
+
+    def __init__(self, window: int = 64, min_samples: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.window = window
+        self.min_samples = min_samples
+        self._pairs: deque[tuple[float, float]] = deque(maxlen=window)
+
+    def add(self, actual: float, predicted: float) -> None:
+        self._pairs.append((float(actual), float(predicted)))
+
+    def value(self) -> float | None:
+        """Relative RMSE over the window, or ``None`` if undecided."""
+        if len(self._pairs) < self.min_samples:
+            return None
+        actual = np.array([a for a, _ in self._pairs])
+        if np.mean(np.abs(actual)) == 0.0:
+            return None  # relative error undefined on all-zero actuals
+        predicted = np.array([p for _, p in self._pairs])
+        return float(relative_rmse(actual, predicted))
+
+    def drifting(self, bound: float) -> bool:
+        """True when the window is decided *and* above ``bound``."""
+        value = self.value()
+        return value is not None and value > bound
+
+    def reset(self) -> None:
+        self._pairs.clear()
+
+    def __len__(self) -> int:
+        return len(self._pairs)

@@ -8,29 +8,81 @@ __all__ = ["StandardScaler"]
 
 
 class StandardScaler:
-    """Zero-mean unit-variance scaling with degenerate-column guards."""
+    """Zero-mean unit-variance scaling with degenerate-column guards.
+
+    Besides the usual :meth:`fit`/:meth:`transform` pair the scaler
+    supports *incremental* statistics (:meth:`partial_fit`, Chan's
+    parallel-variance merge) so the online-learning path can refresh
+    its normalisation from streamed observations, and JSON-ready
+    serialisation (:meth:`to_dict`/:meth:`from_dict`) so a fitted
+    scaler rides along inside a saved predictor artifact.
+    """
 
     def __init__(self) -> None:
         self.mean_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
+        self.var_: np.ndarray | None = None
+        self.n_samples_seen_: int = 0
+
+    def _set_scale(self) -> None:
+        scale = np.sqrt(self.var_)
+        scale[scale == 0.0] = 1.0  # constant columns pass through centred
+        self.scale_ = scale
 
     def fit(self, X) -> "StandardScaler":
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[0] == 0:
             raise ValueError("X must be a non-empty 2-D array")
         self.mean_ = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale == 0.0] = 1.0  # constant columns pass through centred
-        self.scale_ = scale
+        self.var_ = X.var(axis=0)
+        self.n_samples_seen_ = X.shape[0]
+        self._set_scale()
+        return self
+
+    def partial_fit(self, X) -> "StandardScaler":
+        """Merge a new batch into the running mean/variance.
+
+        The first call is equivalent to :meth:`fit`; later calls merge
+        batch statistics with Chan's parallel update, so feeding the
+        data in chunks matches one :meth:`fit` over the concatenation
+        (up to floating-point rounding).
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        if self.mean_ is None:
+            return self.fit(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError("feature count mismatch")
+        n1, n2 = self.n_samples_seen_, X.shape[0]
+        n = n1 + n2
+        mean2 = X.mean(axis=0)
+        var2 = X.var(axis=0)
+        delta = mean2 - self.mean_
+        m2_total = self.var_ * n1 + var2 * n2 + delta**2 * (n1 * n2 / n)
+        self.mean_ = self.mean_ + delta * (n2 / n)
+        self.var_ = m2_total / n
+        self.n_samples_seen_ = n
+        self._set_scale()
         return self
 
     def transform(self, X) -> np.ndarray:
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("scaler is not fitted")
         X = np.asarray(X, dtype=float)
+        n_features = self.mean_.shape[0]
         if X.ndim == 1:
+            # Only a vector of exactly `n_features` entries is an
+            # unambiguous single sample; anything else used to be
+            # silently reshaped to one bogus row -- reject it instead.
+            if X.shape[0] != n_features:
+                raise ValueError(
+                    f"ambiguous 1-D input of length {X.shape[0]}: a single "
+                    f"sample must have {n_features} features; pass a 2-D "
+                    "array for multiple samples"
+                )
             X = X.reshape(1, -1)
-        if X.shape[1] != self.mean_.shape[0]:
+        if X.shape[1] != n_features:
             raise ValueError("feature count mismatch")
         return (X - self.mean_) / self.scale_
 
@@ -42,3 +94,27 @@ class StandardScaler:
             raise RuntimeError("scaler is not fitted")
         X = np.asarray(X, dtype=float)
         return X * self.scale_ + self.mean_
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready state (floats survive the round trip exactly)."""
+        if self.mean_ is None:
+            return {"fitted": False}
+        return {
+            "fitted": True,
+            "mean": self.mean_.tolist(),
+            "var": self.var_.tolist(),
+            "scale": self.scale_.tolist(),
+            "n_samples_seen": int(self.n_samples_seen_),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StandardScaler":
+        scaler = cls()
+        if not payload.get("fitted"):
+            return scaler
+        scaler.mean_ = np.asarray(payload["mean"], dtype=float)
+        scaler.var_ = np.asarray(payload["var"], dtype=float)
+        scaler.scale_ = np.asarray(payload["scale"], dtype=float)
+        scaler.n_samples_seen_ = int(payload["n_samples_seen"])
+        return scaler

@@ -116,6 +116,7 @@ class ServingRuntime:
             label=label or scheduler.name,
             faults=faults,
             open_loop=open_loop,
+            predictor=self.predictor,
         )
         report = build_serving_report(result, open_loop, slo_s)
         return ServingResult(result=result, report=report, open_loop=open_loop)

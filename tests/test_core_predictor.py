@@ -143,11 +143,20 @@ class TestMLPPredictor:
         est = trained.estimate(gemm, MemoryKind.SRAM)
         assert est.t_compute_unit == gemm.profile(MemoryKind.SRAM).t_compute_unit
 
-    def test_untrained_falls_back_to_oracle(self, spmm_jobs):
+    def test_untrained_raises_on_spmm(self, spmm_jobs):
+        """A forgotten train() call must not silently report
+        oracle-grade accuracy on the jobs it claims to predict."""
         predictor = MLPPredictor()
-        job = spmm_jobs[0]
-        est = predictor.estimate(job, MemoryKind.SRAM)
-        assert est.t_compute_unit == job.profile(MemoryKind.SRAM).t_compute_unit
+        with pytest.raises(RuntimeError, match="untrained"):
+            predictor.estimate(spmm_jobs[0], MemoryKind.SRAM)
+
+    def test_untrained_still_oracle_for_deterministic_kernels(self):
+        """Non-SpMM kernels are costed at compile time (III-E); the
+        oracle path stays valid without training."""
+        predictor = MLPPredictor()
+        gemm = make_gemm_job("g", 8, 8, 8, DEFAULT_SPECS)
+        est = predictor.estimate(gemm, MemoryKind.SRAM)
+        assert est.t_compute_unit == gemm.profile(MemoryKind.SRAM).t_compute_unit
 
     def test_training_requires_enough_jobs(self, spmm_jobs):
         with pytest.raises(ValueError):
@@ -157,6 +166,117 @@ class TestMLPPredictor:
         gemm = make_gemm_job("g", 8, 8, 8, DEFAULT_SPECS)
         with pytest.raises(ValueError):
             trained.predict_unit_compute(gemm, MemoryKind.SRAM)
+
+    def test_stage2_features_identical_at_train_and_inference(
+        self, trained, spmm_jobs
+    ):
+        """Regression for the train/inference skew: stage-2 training
+        rows and the inference-time feature vector must come from one
+        pipeline -- same metadata transform, same (clamped) stage-1
+        H_w -- or the cycle model sees a feature distribution at
+        inference it never trained on."""
+        for job in spmm_jobs[:4]:
+            for kind in (MemoryKind.SRAM, MemoryKind.RERAM):
+                train_row = trained._stage2_rows([job], kind)[0][0]
+                inference_row = trained._stage2_features(job, kind)
+                assert np.array_equal(train_row, inference_row)
+                # The H_w feature is the clamped public stage-1 value.
+                assert inference_row[-1] == trained.predict_hw(job, kind)
+                assert inference_row[-1] >= 0.0
+
+    def test_estimates_always_finite_and_positive(self, trained, spmm_jobs):
+        """Regression for the unbounded exp: even a pathological
+        extrapolation must never hand the scheduler inf/0/NaN."""
+        job = spmm_jobs[0]
+        # Sanity on real jobs first.
+        for j in spmm_jobs[64:80]:
+            t = trained.predict_unit_compute(j, MemoryKind.SRAM)
+            assert np.isfinite(t) and t > 0.0
+        # Force an absurd log-domain prediction by blowing up the
+        # cycle model's output bias; the clamp must contain it.
+        model = trained._cycle_models[MemoryKind.SRAM]
+        original = model._biases[-1].copy()
+        try:
+            model._biases[-1] = original + 1e6
+            t = trained.predict_unit_compute(job, MemoryKind.SRAM)
+            assert np.isfinite(t) and t > 0.0
+            model._biases[-1] = original - 1e6
+            t = trained.predict_unit_compute(job, MemoryKind.SRAM)
+            assert np.isfinite(t) and t > 0.0
+        finally:
+            model._biases[-1] = original
+
+    def test_clamp_bounds_derived_from_training_targets(
+        self, trained, spmm_jobs
+    ):
+        from repro.core.predictor import LOG_CLAMP_MARGIN
+
+        log_targets = np.log(
+            [j.profile(MemoryKind.SRAM).t_compute_unit for j in spmm_jobs[:64]]
+        )
+        lo, hi = trained._log_bounds[MemoryKind.SRAM]
+        assert lo == pytest.approx(log_targets.min() - LOG_CLAMP_MARGIN)
+        assert hi == pytest.approx(log_targets.max() + LOG_CLAMP_MARGIN)
+
+
+class TestMLPPredictorLifecycle:
+    def test_save_load_estimates_byte_identical(
+        self, trained, spmm_jobs, tmp_path
+    ):
+        path = trained.save(tmp_path / "pred.json")
+        clone = MLPPredictor.load(path)
+        for job in spmm_jobs[64:72]:
+            for kind in (MemoryKind.SRAM, MemoryKind.RERAM, MemoryKind.DRAM):
+                assert (
+                    clone.estimate(job, kind).t_compute_unit
+                    == trained.estimate(job, kind).t_compute_unit
+                )
+
+    def test_save_twice_byte_identical(self, trained, tmp_path):
+        a = trained.save(tmp_path / "a.json")
+        b = trained.save(tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="artifact"):
+            MLPPredictor.load(path)
+
+    def test_untrained_round_trip(self, spmm_jobs, tmp_path):
+        """An untrained artifact reloads as untrained -- and still
+        refuses to estimate SpMM jobs."""
+        path = MLPPredictor().save(tmp_path / "empty.json")
+        clone = MLPPredictor.load(path)
+        with pytest.raises(RuntimeError, match="untrained"):
+            clone.estimate(spmm_jobs[0], MemoryKind.SRAM)
+
+    def test_partial_fit_improves_untrained_kind_coverage(self, spmm_jobs):
+        predictor = MLPPredictor(epochs=120, seed=0)
+        predictor.train(spmm_jobs[:32])
+        before = [
+            predictor.predict_unit_compute(j, MemoryKind.SRAM)
+            for j in spmm_jobs[64:]
+        ]
+        predictor.partial_fit(spmm_jobs[32:64])
+        after = [
+            predictor.predict_unit_compute(j, MemoryKind.SRAM)
+            for j in spmm_jobs[64:]
+        ]
+        truth = [j.profile(MemoryKind.SRAM).t_compute_unit for j in spmm_jobs[64:]]
+        # The warm-start update must keep the model healthy (finite,
+        # positive, still accurate) after absorbing the second batch.
+        assert all(np.isfinite(after)) and all(t > 0 for t in after)
+        assert relative_rmse(truth, after) < 0.6
+        assert before != after  # the update actually moved the model
+
+    def test_partial_fit_on_untrained_delegates_to_train(self, spmm_jobs):
+        a = MLPPredictor(epochs=60, seed=3).partial_fit(spmm_jobs[:32])
+        b = MLPPredictor(epochs=60, seed=3).train(spmm_jobs[:32])
+        job = spmm_jobs[40]
+        assert a.predict_unit_compute(
+            job, MemoryKind.SRAM
+        ) == b.predict_unit_compute(job, MemoryKind.SRAM)
 
 
 @pytest.fixture(scope="module")

@@ -1,5 +1,7 @@
 """From-scratch regressors: MLP, gradient-boosted trees, metrics."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -78,6 +80,43 @@ class TestScaler:
         with pytest.raises(ValueError):
             scaler.transform([[1.0]])
 
+    def test_partial_fit_matches_fit_on_concat(self):
+        rng = np.random.default_rng(4)
+        chunks = [rng.normal(2.0, 3.0, size=(n, 3)) for n in (7, 1, 40, 13)]
+        full = StandardScaler().fit(np.vstack(chunks))
+        incremental = StandardScaler()
+        for chunk in chunks:
+            incremental.partial_fit(chunk)
+        assert np.allclose(incremental.mean_, full.mean_)
+        assert np.allclose(incremental.var_, full.var_)
+        assert incremental.n_samples_seen_ == sum(len(c) for c in chunks)
+
+    def test_partial_fit_feature_mismatch(self):
+        scaler = StandardScaler().fit([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValueError):
+            scaler.partial_fit([[1.0]])
+
+    def test_ambiguous_1d_input_rejected(self):
+        """A 1-D vector whose length is not the feature count used to
+        be silently reshaped into one bogus row -- it must raise."""
+        scaler = StandardScaler().fit(np.ones((4, 3)) * [[1], [2], [3], [4]])
+        with pytest.raises(ValueError, match="ambiguous"):
+            scaler.transform(np.zeros(5))
+        # An exact-length vector stays a valid single sample.
+        assert scaler.transform(np.zeros(3)).shape == (1, 3)
+
+    def test_dict_round_trip(self):
+        X = np.random.default_rng(1).normal(size=(30, 2))
+        scaler = StandardScaler().fit(X)
+        clone = StandardScaler.from_dict(json.loads(json.dumps(scaler.to_dict())))
+        assert np.array_equal(clone.transform(X), scaler.transform(X))
+        assert clone.n_samples_seen_ == scaler.n_samples_seen_
+
+    def test_unfitted_dict_round_trip(self):
+        clone = StandardScaler.from_dict(StandardScaler().to_dict())
+        with pytest.raises(RuntimeError):
+            clone.transform([[1.0]])
+
 
 class TestMLP:
     def test_learns_nonlinear_function(self):
@@ -119,6 +158,83 @@ class TestMLP:
             MLPRegressor().fit(np.zeros((5, 2)), np.zeros(4))
         with pytest.raises(ValueError):
             MLPRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestMLPLifecycle:
+    def test_save_load_predictions_byte_identical(self):
+        X, y = make_data(100)
+        model = MLPRegressor(epochs=40, seed=2).fit(X, y)
+        clone = MLPRegressor.from_dict(json.loads(json.dumps(model.to_dict())))
+        assert np.array_equal(clone.predict(X), model.predict(X))
+
+    def test_fit_deterministic_across_save_load(self):
+        """Same seed -> same model, whether trained fresh or rebuilt
+        from an artifact of an identically-trained twin."""
+        X, y = make_data(100)
+        fresh = MLPRegressor(epochs=30, seed=7).fit(X, y)
+        rebuilt = MLPRegressor.from_dict(
+            MLPRegressor(epochs=30, seed=7).fit(X, y).to_dict()
+        )
+        assert np.array_equal(fresh.predict(X), rebuilt.predict(X))
+
+    def test_partial_fit_fewer_samples_than_batch_size(self):
+        X, y = make_data(100)
+        model = MLPRegressor(epochs=30, batch_size=32, seed=0).fit(X[:60], y[:60])
+        model.partial_fit(X[60:63], y[60:63], epochs=5)  # 3 < batch_size
+        model.partial_fit(X[63:64], y[63:64], epochs=5)  # single sample
+        assert model.n_updates_ == 2
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_partial_fit_first_call_is_fit(self):
+        X, y = make_data(80)
+        a = MLPRegressor(epochs=30, seed=5).partial_fit(X, y)
+        b = MLPRegressor(epochs=30, seed=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_partial_fit_improves_on_shifted_data(self):
+        """Warm-start training adapts to a drifted target function."""
+        rng = np.random.default_rng(9)
+        X = rng.uniform(0, 4, size=(200, 3))
+        y_old = X @ [2.0, 1.0, 0.5]
+        y_new = X @ [0.5, -1.0, 2.0] + 3.0
+        model = MLPRegressor(epochs=100, seed=0).fit(X, y_old)
+        before = rmse(y_new, model.predict(X))
+        for _ in range(5):
+            model.partial_fit(X, y_new, epochs=40)
+        assert rmse(y_new, model.predict(X)) < before / 2
+
+    def test_scaler_refresh_preserves_function(self):
+        """A zero-epoch partial_fit only refreshes the scalers; the
+        weight compensation must keep predictions unchanged."""
+        X, y = make_data(120)
+        model = MLPRegressor(epochs=30, seed=1).fit(X[:80], y[:80])
+        before = model.predict(X)
+        # Shifted/re-scaled batch moves the scaler statistics a lot.
+        model.partial_fit(X[80:] * 3.0 + 5.0, y[80:] * 2.0 - 1.0, epochs=0)
+        assert np.allclose(model.predict(X), before, rtol=1e-9, atol=1e-12)
+
+    def test_partial_fit_deterministic_across_save_load(self):
+        """Adam state and the update counter ride in the artifact, so
+        saved-then-continued training equals in-memory continuation."""
+        X, y = make_data(120)
+        live = MLPRegressor(epochs=30, seed=4).fit(X[:70], y[:70])
+        restored = MLPRegressor.from_dict(json.loads(json.dumps(live.to_dict())))
+        live.partial_fit(X[70:], y[70:], epochs=15)
+        restored.partial_fit(X[70:], y[70:], epochs=15)
+        assert np.array_equal(live.predict(X), restored.predict(X))
+
+    def test_partial_fit_feature_mismatch(self):
+        X, y = make_data(50)
+        model = MLPRegressor(epochs=10).fit(X, y)
+        with pytest.raises(ValueError, match="feature count"):
+            model.partial_fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_version_gate(self):
+        X, y = make_data(50)
+        payload = MLPRegressor(epochs=5).fit(X, y).to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            MLPRegressor.from_dict(payload)
 
 
 class TestTrees:
