@@ -101,7 +101,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Time the pinned perf suite and write ``BENCH_<date>.json``."""
     import json
 
-    from .harness.bench import check_regression, run_bench, write_bench_json
+    from .harness.bench import (
+        check_cache_health,
+        check_regression,
+        run_bench,
+        write_bench_json,
+    )
 
     payload = run_bench(
         quick=args.quick, include_baseline=not args.no_baseline
@@ -127,10 +132,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if "speedup_vs_baseline" in totals:
         summary += f"  {totals['speedup_vs_baseline']:5.2f}x vs baseline"
     print(summary)
-    knee = payload["caches"].get("perfmodel.knee", {})
-    print(f"knee-cache hit rate: {knee.get('hit_rate', 0.0):.1%}")
+    for cache in ("perfmodel.knee", "perfmodel.min_time"):
+        stats = payload["caches"].get(cache, {})
+        print(f"{cache} hit rate: {stats.get('hit_rate', 0.0):.1%}")
     path = write_bench_json(payload, args.out)
     print(f"wrote {path}")
+    health = check_cache_health(payload)
+    for failure in health:
+        print(f"CACHE HEALTH: {failure}", file=sys.stderr)
+    if health:
+        return 1
     if args.check:
         reference = json.loads(open(args.check).read())
         failures = check_regression(payload, reference, args.max_regression)

@@ -87,6 +87,12 @@ class PerfModelConfig:
     cache_enabled: bool = True
     vectorised: bool = True
     cache_maxsize: int = 4096
+    #: Run the dispatcher's phase chain through the columnar flight
+    #: table (struct-of-arrays rows fired straight from the event heap)
+    #: instead of per-launch Python closures.  Both paths are
+    #: byte-identical by construction; the flag exists for the
+    #: differential test suite and the bench baseline.
+    columnar: bool = True
 
 
 _CONFIG = PerfModelConfig()
@@ -156,6 +162,7 @@ def configure(
     cache_enabled: bool | None = None,
     vectorised: bool | None = None,
     cache_maxsize: int | None = None,
+    columnar: bool | None = None,
 ) -> PerfModelConfig:
     """Adjust the perf layer; ``None`` leaves a knob unchanged.
 
@@ -167,6 +174,8 @@ def configure(
         _CONFIG.cache_enabled = bool(cache_enabled)
     if vectorised is not None:
         _CONFIG.vectorised = bool(vectorised)
+    if columnar is not None:
+        _CONFIG.columnar = bool(columnar)
     if cache_maxsize is not None:
         if cache_maxsize < 1:
             raise ValueError("cache_maxsize must be >= 1")
@@ -220,7 +229,24 @@ class ScaleFreeEstimate:
         return self.t_compute_unit * ratio**self.beta
 
     def total_time(self, arrays: int) -> float:
-        return self.n_iter * (self.load_time(arrays) + self.compute_time(arrays))
+        # The curve is pure in (estimate, effective arrays) and the
+        # balancing loops re-evaluate the same few allocations millions
+        # of times; memoised per instance (frozen dataclass, so writes
+        # go through __dict__), gated like the allocation-search caches
+        # so the ablation baseline stays honest.
+        self._check(arrays)
+        effective = self._effective(arrays)
+        cache = self.__dict__.get("_tt_cache")
+        if cache is not None:
+            value = cache.get(effective)
+            if value is not None:
+                return value
+        value = self.n_iter * (self.load_time(arrays) + self.compute_time(arrays))
+        if perf_config().cache_enabled:
+            if cache is None:
+                cache = self.__dict__["_tt_cache"] = {}
+            cache[effective] = value
+        return value
 
     def total_time_batch(self, arrays) -> np.ndarray:
         """Vectorised :meth:`total_time` over an allocation array."""
@@ -280,6 +306,25 @@ class ScaleFreeEstimate:
             arrays = min(arrays, self.max_useful_arrays)
         return max(self.unit_arrays, arrays)
 
+    def curve_key(self) -> tuple:
+        """Canonical identity of the t(x, m) curve (see
+        :func:`_estimate_key`); every field of this estimate shapes the
+        curve, so the key is the field tuple."""
+        key = self.__dict__.get("_curve_key")
+        if key is None:
+            key = (
+                "sf",
+                self.unit_arrays,
+                self.t_load,
+                self.t_replica_unit,
+                self.t_compute_unit,
+                self.beta,
+                self.n_iter,
+                self.max_useful_arrays,
+            )
+            self.__dict__["_curve_key"] = key
+        return key
+
 
 @dataclass(frozen=True)
 class ProfileEstimate:
@@ -330,9 +375,26 @@ class ProfileEstimate:
         return self.profile.compute_time(arrays) * self.compute_scale
 
     def total_time(self, arrays: int) -> float:
-        return self.profile.n_iter * (
+        # Pure in (profile, replica count, compute_scale): the discrete
+        # model only changes at whole replicas, so a per-instance memo
+        # keyed on the replica count collapses the balancing loops'
+        # millions of repeat evaluations.  Gated like the allocation-
+        # search caches so the ablation baseline stays honest.
+        profile = self.profile
+        replicas = profile.replicas(arrays)
+        cache = self.__dict__.get("_tt_cache")
+        if cache is not None:
+            value = cache.get(replicas)
+            if value is not None:
+                return value
+        value = profile.n_iter * (
             self.load_time(arrays) + self.compute_time(arrays)
         )
+        if perf_config().cache_enabled:
+            if cache is None:
+                cache = self.__dict__["_tt_cache"] = {}
+            cache[replicas] = value
+        return value
 
     def total_time_batch(self, arrays) -> np.ndarray:
         """Vectorised :meth:`total_time` over an allocation array."""
@@ -352,6 +414,33 @@ class ProfileEstimate:
         the time-minimising allocation if unreachable (the curve is
         not monotone once replication load cost dominates)."""
         return _invert_total_time(self, target_seconds, max_arrays)
+
+    def curve_key(self) -> tuple:
+        """Canonical identity of the t(x, m) curve.
+
+        :class:`~repro.core.job.JobPerfProfile` also carries
+        ``fill_bytes``, ``compute_energy_j`` and ``vector_width``,
+        none of which enter the timing curve -- two jobs differing
+        only in those fields used to occupy distinct cache entries for
+        identical searches (the ``perfmodel.knee`` key-normalisation
+        bug).  The key keeps exactly the timing-relevant fields.
+        """
+        key = self.__dict__.get("_curve_key")
+        if key is None:
+            p = self.profile
+            key = (
+                "prof",
+                p.unit_arrays,
+                p.t_load,
+                p.t_replica_unit,
+                p.t_compute_unit,
+                p.waves_unit,
+                p.overhead_delta,
+                p.n_iter,
+                self.compute_scale,
+            )
+            self.__dict__["_curve_key"] = key
+        return key
 
 
 def estimate_from_profile(
@@ -418,12 +507,15 @@ def allocation_grid(estimate, max_arrays: int, points: int = 48) -> np.ndarray:
     lo = estimate.unit_arrays
     if max_arrays < lo:
         raise ValueError("max_arrays below the unit allocation")
-    key = (lo, max_arrays, points)
+    max_replicas = max_arrays // lo
+    # The grid depends only on the replica count, so caps that differ
+    # by less than one replica (or by int-vs-float type) share an
+    # entry.
+    key = (lo, int(max_replicas), points)
     if _CONFIG.cache_enabled:
         cached = _GRID_CACHE.get(key)
         if cached is not _MISSING:
             return cached
-    max_replicas = max_arrays // lo
     if max_replicas <= 1:
         grid = np.asarray([lo])
     else:
@@ -438,13 +530,25 @@ def allocation_grid(estimate, max_arrays: int, points: int = 48) -> np.ndarray:
 
 
 def _estimate_key(estimate, max_arrays: int):
-    """Cache key for an allocation search; ``None`` if unkeyable.
+    """Canonical cache key for an allocation search; ``None`` if
+    unkeyable.
 
-    The shipped estimate classes are frozen dataclasses (hashable by
-    value), so identical parameters share one cache entry regardless
-    of which job produced them.  Unhashable duck-typed estimates are
-    simply not cached.
+    Keys are normalised so *equivalent* searches share one entry:
+
+    * the estimate contributes its :meth:`curve_key` -- only the
+      fields that shape the t(x, m) curve (a :class:`ProfileEstimate`
+      drops the profile's ``fill_bytes`` / ``compute_energy_j`` /
+      ``vector_width``, which used to fragment the cache);
+    * the cap contributes its whole-replica count, since the search
+      grid cannot distinguish caps within the same replica multiple
+      (this also unifies int and float ``max_arrays``).
+
+    Duck-typed estimates without ``curve_key`` fall back to hashing
+    the estimate itself; unhashable ones are simply not cached.
     """
+    curve_key = getattr(estimate, "curve_key", None)
+    if curve_key is not None:
+        return (curve_key(), int(max_arrays // estimate.unit_arrays))
     try:
         hash(estimate)
     except TypeError:
@@ -482,6 +586,23 @@ def knee_allocation(estimate, max_arrays: int) -> int:
     return result
 
 
+def _gradient1d(f: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``np.gradient(f, x)`` for 1-D arrays, bit-identical but without
+    the generic axis/shape machinery (the knee search calls this twice
+    per cache miss on small grids, where that overhead dominates)."""
+    out = np.empty_like(f)
+    dx = np.diff(x)
+    dx1 = dx[:-1]
+    dx2 = dx[1:]
+    a = -(dx2) / (dx1 * (dx1 + dx2))
+    b = (dx2 - dx1) / (dx1 * dx2)
+    c = dx1 / (dx2 * (dx1 + dx2))
+    out[1:-1] = a * f[:-2] + b * f[1:-1] + c * f[2:]
+    out[0] = (f[1] - f[0]) / dx[0]
+    out[-1] = (f[-1] - f[-2]) / dx[-1]
+    return out
+
+
 def _knee_allocation_impl(estimate, max_arrays: int) -> int:
     grid = allocation_grid(estimate, max_arrays)
     if len(grid) == 1:
@@ -497,9 +618,9 @@ def _knee_allocation_impl(estimate, max_arrays: int) -> int:
         return int(grid[0])
     y = (times - times.min()) / t_span
 
-    slope = np.gradient(y, x)
+    slope = _gradient1d(y, x)
     theta = np.arctan(slope)
-    dtheta = np.abs(np.gradient(theta, x))
+    dtheta = np.abs(_gradient1d(theta, x))
     knee_idx = int(np.argmax(dtheta))
     knee = int(grid[knee_idx])
 

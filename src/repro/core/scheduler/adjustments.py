@@ -32,9 +32,14 @@ MAX_ROUNDS = 64
 EPSILON_FRACTION = 0.05
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PlannedJob:
-    """One queue entry: where a job will run and with how much memory."""
+    """One queue entry: where a job will run and with how much memory.
+
+    Compared by identity (``eq=False``): queue entries are unique
+    tokens, and the balancing loops' ``list.remove`` / ``list.index``
+    calls would otherwise deep-compare jobs, profiles and estimates
+    field by field on every probe."""
 
     job: Job
     kind: MemoryKind
@@ -181,48 +186,94 @@ def inter_queue_adjust(
         # Balancing may need to move a sizeable fraction of the batch.
         max_rounds = max(MAX_ROUNDS, sum(len(q) for q in queues.values()))
 
-    def drains() -> dict[MemoryKind, float]:
-        return {
-            kind: queue_drain_estimate(entries, kind, system)
-            for kind, entries in queues.items()
-        }
+    # Candidate probes and commits are O(1) arithmetic over cached
+    # per-queue aggregates (slot-seconds, array-seconds, pipe fill
+    # bytes) rather than re-summing every queue per probe, and the
+    # cheapest-on-target candidate comes from a per-target list sorted
+    # once up front (plans are immutable for the whole loop, so each
+    # job's estimated time on each target never changes).
+    slot_caps = {kind: system.slots(kind) for kind in queues}
+    array_caps = {kind: system.arrays(kind) for kind in queues}
 
-    def system_max() -> float:
-        return max(
-            max(drains().values()),
-            pipe_drain_estimate(queues, pipe_bandwidth_bps),
-        )
+    def entry_bytes(entry: PlannedJob) -> float:
+        profile = entry.job.profile(entry.kind)
+        return profile.fill_bytes * profile.n_iter
+
+    slot_s: dict[MemoryKind, float] = {}
+    arr_s: dict[MemoryKind, float] = {}
+    pipe_bytes = 0.0
+    for kind, entries in queues.items():
+        slot_s[kind] = sum(e.est_time for e in entries)
+        arr_s[kind] = sum(e.est_time * e.arrays for e in entries)
+        if kind is not MemoryKind.DRAM:
+            pipe_bytes += sum(entry_bytes(e) for e in entries)
+
+    # Which queue each job currently sits in, its current entry, and
+    # per-target job ids ordered by estimated time on that target.
+    member: dict[str, MemoryKind] = {}
+    entry_of: dict[str, PlannedJob] = {}
+    for kind, entries in queues.items():
+        for entry in entries:
+            member[entry.job.job_id] = kind
+            entry_of[entry.job.job_id] = entry
+    by_target: dict[MemoryKind, list[str]] = {}
+    for kind in queues:
+        ranked = [
+            (options[kind].est_time, job_id)
+            for job_id, options in plans.items()
+            if kind in options and job_id in member
+        ]
+        ranked.sort()
+        by_target[kind] = [job_id for _, job_id in ranked]
+
+    def drain_of(kind: MemoryKind, slot: float, arr: float) -> float:
+        return max(slot / slot_caps[kind], arr / array_caps[kind])
 
     for _ in range(max_rounds):
-        current = drains()
+        current = {
+            kind: drain_of(kind, slot_s[kind], arr_s[kind]) for kind in queues
+        }
         max_kind = max(current, key=current.get)  # type: ignore[arg-type]
         spread = current[max_kind] - min(current.values())
         overall = sum(current.values()) / max(1, len(current))
         if spread <= epsilon_fraction * max(overall, 1e-30):
             break
-        current_max = system_max()
+        current_max = max(
+            current[max_kind], pipe_bytes / pipe_bandwidth_bps
+        )
         # Consider every under-loaded target; take the move with the
         # smallest post-migration maximum drain (pipe included).
         best_move: tuple[float, PlannedJob, MemoryKind, PlannedJob] | None = None
         for target, target_drain in current.items():
             if target is max_kind or target_drain >= current[max_kind]:
                 continue
-            candidates = [
-                entry
-                for entry in queues[max_kind]
-                if target in plans[entry.job.job_id]
-            ]
-            if not candidates:
+            moved: PlannedJob | None = None
+            for job_id in by_target[target]:
+                if member.get(job_id) is max_kind:
+                    moved = entry_of[job_id]
+                    break
+            if moved is None:
                 continue
-            moved = min(
-                candidates, key=lambda e: plans[e.job.job_id][target].est_time
-            )
             replanned = plans[moved.job.job_id][target]
-            queues[max_kind].remove(moved)
-            queues[target].append(replanned)
-            new_max = system_max()
-            queues[target].remove(replanned)
-            queues[max_kind].append(moved)
+            new_src = drain_of(
+                max_kind,
+                slot_s[max_kind] - moved.est_time,
+                arr_s[max_kind] - moved.est_time * moved.arrays,
+            )
+            new_dst = drain_of(
+                target,
+                slot_s[target] + replanned.est_time,
+                arr_s[target] + replanned.est_time * replanned.arrays,
+            )
+            new_bytes = pipe_bytes
+            if max_kind is not MemoryKind.DRAM:
+                new_bytes -= entry_bytes(moved)
+            if target is not MemoryKind.DRAM:
+                new_bytes += entry_bytes(replanned)
+            new_max = max(new_src, new_dst, new_bytes / pipe_bandwidth_bps)
+            for kind, drain in current.items():
+                if kind is not max_kind and kind is not target and drain > new_max:
+                    new_max = drain
             if new_max < current_max and (
                 best_move is None or new_max < best_move[0]
             ):
@@ -232,6 +283,17 @@ def inter_queue_adjust(
         _, moved, target, replanned = best_move
         queues[max_kind].remove(moved)
         queues[target].append(replanned)
+        job_id = moved.job.job_id
+        member[job_id] = target
+        entry_of[job_id] = replanned
+        slot_s[max_kind] -= moved.est_time
+        arr_s[max_kind] -= moved.est_time * moved.arrays
+        slot_s[target] += replanned.est_time
+        arr_s[target] += replanned.est_time * replanned.arrays
+        if max_kind is not MemoryKind.DRAM:
+            pipe_bytes -= entry_bytes(moved)
+        if target is not MemoryKind.DRAM:
+            pipe_bytes += entry_bytes(replanned)
     return queues
 
 

@@ -70,24 +70,64 @@ def build_static_schedule(
     now = 0.0
     schedule: list[ScheduledEntry] = []
 
-    def place_all() -> None:
+    def two_smallest(queue: list[PlannedJob]) -> tuple[int | None, int, int | None]:
+        """(smallest arrays value, its multiplicity, second-smallest value).
+
+        Lets the full-utilisation check below ask "smallest allocation
+        among the *other* waiting jobs" in O(1) per candidate instead
+        of rescanning the queue for every placement attempt."""
+        m1: int | None = None
+        m2: int | None = None
+        count = 0
+        for e in queue:
+            a = e.arrays
+            if m1 is None or a < m1:
+                m2 = m1
+                m1 = a
+                count = 1
+            elif a == m1:
+                count += 1
+            elif m2 is None or a < m2:
+                m2 = a
+        return m1, count, m2
+
+    def place_all(only: MemoryKind | None = None) -> None:
+        """Place every fitting job; ``only`` limits the sweep to one
+        device.  Placements never free resources, so after a
+        completion on one device no other device can newly fit a job
+        -- sweeping just the freed device is exact, not a heuristic.
+        """
         nonlocal pipe_free_at
         placed_any = True
         while placed_any:
             placed_any = False
             for kind, queue in waiting.items():
+                if only is not None and kind is not only:
+                    continue
+                if not queue or free_slots[kind] <= 0:
+                    continue
+                m1, m1_count, m2 = two_smallest(queue)
+                if m1 is not None and m1 > free_arrays[kind]:
+                    continue  # even the smallest waiting job cannot fit
                 for entry in list(queue):
-                    if free_slots[kind] <= 0 or entry.arrays > free_arrays[kind]:
+                    if free_slots[kind] <= 0:
+                        break  # slots only shrink within a sweep
+                    if entry.arrays > free_arrays[kind]:
                         continue
                     arrays = entry.arrays
-                    others = [e for e in queue if e is not entry]
-                    min_other = min((e.arrays for e in others), default=None)
+                    if m1_count > 1:
+                        min_other = m1
+                    elif entry.arrays == m1:
+                        min_other = m2
+                    else:
+                        min_other = m1
                     if min_other is None or free_arrays[kind] - arrays < min_other:
                         ceiling = entry.estimate.max_useful_arrays or free_arrays[kind]
                         arrays = entry.estimate.snap_to_replica(
                             min(free_arrays[kind], max(arrays, ceiling))
                         )
                     queue.remove(entry)
+                    m1, m1_count, m2 = two_smallest(queue)
                     profile = entry.job.profile(kind)
                     fill_bytes = profile.fill_bytes * profile.n_iter
                     start = now
@@ -117,7 +157,7 @@ def build_static_schedule(
         now = end
         free_arrays[kind] += arrays
         free_slots[kind] += 1
-        place_all()
+        place_all(only=kind)
     schedule.sort(key=lambda s: s.planned_start)
     return schedule
 
@@ -151,16 +191,22 @@ class GlobalPolicy(DispatchPolicy):
         self._planner = planner
         self._lost: set[MemoryKind] = set()
         self._derate: dict[MemoryKind, float] = {}
+        self._depths = self._count_depths()
 
-    def pending(self) -> int:
-        return len(self._schedule)
-
-    def queue_depths(self) -> dict[str, int]:
+    def _count_depths(self) -> dict[str, int]:
         depths: dict[str, int] = {}
         for scheduled in self._schedule:
             device = scheduled.entry.kind.value
             depths[device] = depths.get(device, 0) + 1
         return depths
+
+    def pending(self) -> int:
+        return len(self._schedule)
+
+    def queue_depths(self) -> dict[str, int]:
+        # Maintained incrementally (decremented as entries launch,
+        # rebuilt on re-plan): the dispatcher polls this per pump.
+        return dict(self._depths)
 
     def next_event_time(self, now: float) -> float | None:
         if not self._schedule:
@@ -172,7 +218,8 @@ class GlobalPolicy(DispatchPolicy):
         free_slots = dict(view.free_slots)
         free_run = dict(view.largest_free_run)
         blocked: set[MemoryKind] = set()
-        for scheduled in list(self._schedule):
+        taken: set[int] = set()
+        for index, scheduled in enumerate(self._schedule):
             if scheduled.planned_start > view.now:
                 break  # schedule is time-ordered
             entry = scheduled.entry
@@ -182,7 +229,11 @@ class GlobalPolicy(DispatchPolicy):
             if free_slots.get(kind, 0) <= 0 or free_run.get(kind, 0) < entry.arrays:
                 blocked.add(kind)
                 continue
-            self._schedule.remove(scheduled)
+            taken.add(index)
+            device = kind.value
+            self._depths[device] -= 1
+            if not self._depths[device]:
+                del self._depths[device]
             dispatches.append(
                 Dispatch(
                     job=entry.job,
@@ -193,6 +244,10 @@ class GlobalPolicy(DispatchPolicy):
             )
             free_slots[kind] -= 1
             free_run[kind] -= entry.arrays
+        if taken:
+            self._schedule = [
+                s for i, s in enumerate(self._schedule) if i not in taken
+            ]
         return dispatches
 
     # -- re-planning core (shared by device_lost and admit) ------------
@@ -208,6 +263,7 @@ class GlobalPolicy(DispatchPolicy):
         alive = [k for k in self._system.kinds if k not in self._lost]
         if not alive:
             self._schedule = []
+            self._depths = {}
             return list(new_jobs)
         subset = self._system.subset(alive)
         queues: dict[MemoryKind, list[PlannedJob]] = {k: [] for k in alive}
@@ -242,6 +298,7 @@ class GlobalPolicy(DispatchPolicy):
             ScheduledEntry(planned_start=now + s.planned_start, entry=s.entry)
             for s in build_static_schedule(capped, subset)
         ]
+        self._depths = self._count_depths()
         return unplaced
 
     # -- online admission (repro.serving) ------------------------------

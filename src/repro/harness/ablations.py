@@ -71,9 +71,15 @@ def ablation_stationary(dataset: str = "collab") -> Report:
     return report
 
 
-def ablation_knee(dataset: str = "citation") -> Report:
-    """Knee sizing vs strict minimisation vs unit allocations."""
-    workload = build_workload(dataset, num_batches=2, seed=3)
+def ablation_knee(dataset: str = "citation", workload=None) -> Report:
+    """Knee sizing vs strict minimisation vs unit allocations.
+
+    ``workload`` lets a caller reuse a prebuilt workload (the bench
+    suite constructs it in untimed warmup); it must match the
+    ``build_workload(dataset, num_batches=2, seed=3)`` shape.
+    """
+    if workload is None:
+        workload = build_workload(dataset, num_batches=2, seed=3)
     predictor = OraclePredictor()
     dispatcher = Dispatcher(workload.system)
     report = Report(

@@ -53,6 +53,7 @@ from ..obs.metrics import (
     runtime_counters,
     runtime_snapshot,
 )
+from .ablations import ablation_knee
 from .experiments import (
     _workload,
     fig11_kernel_speedup,
@@ -66,6 +67,7 @@ __all__ = [
     "run_bench",
     "write_bench_json",
     "check_regression",
+    "check_cache_health",
     "DEFAULT_MAX_REGRESSION",
 ]
 
@@ -75,8 +77,15 @@ DEFAULT_MAX_REGRESSION = 0.30
 
 
 def _set_fast_path(enabled: bool) -> None:
-    """Switch between the optimised and the pre-perf-layer code paths."""
-    perfmodel.configure(cache_enabled=enabled, vectorised=enabled)
+    """Switch between the optimised and the pre-perf-layer code paths.
+
+    ``enabled=False`` is the seed configuration: allocation-search
+    caches off, scalar grid math, and the per-launch object dispatch
+    path instead of the columnar flight table.
+    """
+    perfmodel.configure(
+        cache_enabled=enabled, vectorised=enabled, columnar=enabled
+    )
     timing.configure_cache(enabled)
 
 
@@ -91,10 +100,16 @@ def build_suite(quick: bool = False) -> list[tuple[str, Callable[[], object]]]:
     combos = ("A", "B") if quick else None
     workload = _workload(dataset)
     mlp = workload.train_predictor()
+    sizing_workload = _workload(dataset, num_batches=2)
     return [
         ("fig11_kernels", lambda: fig11_kernel_speedup(dataset)),
         ("fig15_sched_sweep", lambda: fig15_scheduler_predictor(dataset, mlp=mlp)),
         ("fig19_combos", lambda: fig19_combo_schedulers(combos)),
+        # Fig. 10 sizing-policy sweep: the only target that exercises
+        # sizing="min", so perfmodel.min_time sees real traffic and
+        # check_cache_health can catch a dead cache (it once sat at a
+        # 0% hit rate -- non-timing profile fields fragmented the key).
+        ("fig10_sizing", lambda: ablation_knee(dataset, workload=sizing_workload)),
         (
             "gnn_epoch",
             lambda: run_workload(workload, GlobalScheduler(OraclePredictor())),
@@ -187,6 +202,27 @@ def write_bench_json(payload: dict, out: str | os.PathLike | None = None) -> Pat
     path = Path(out)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def check_cache_health(payload: dict) -> list[str]:
+    """Flag perf-layer caches that saw traffic but never hit.
+
+    A cache with lookups and a 0% hit rate is not a tuning problem,
+    it is a wiring bug -- ``perfmodel.min_time`` shipped exactly that
+    way (every key unique, every lookup a miss) and no gate noticed
+    because throughput gates tolerate slow-but-correct.  Returns
+    human-readable failure strings (empty = healthy).  Caches with no
+    traffic are fine: not every workload exercises every cache.
+    """
+    failures: list[str] = []
+    for name, stats in sorted(payload.get("caches", {}).items()):
+        lookups = stats.get("hits", 0) + stats.get("misses", 0)
+        if lookups > 0 and stats.get("hits", 0) == 0:
+            failures.append(
+                f"cache {name} is dead: 0 hits in {lookups:,} lookups "
+                "(every key unique -- check key normalisation)"
+            )
+    return failures
 
 
 def check_regression(

@@ -45,6 +45,13 @@ class MemoryKind(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Members are singletons compared by identity, so the id-based C
+    # slot hash is equivalent to Enum's Python-level name hash -- and
+    # millions of profile/spec dict lookups per run stop paying a
+    # Python frame per lookup.  (Name hashes were never stable across
+    # processes anyway: str hashing is seed-randomised.)
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class ArrayGeometry:

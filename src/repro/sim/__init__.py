@@ -1,10 +1,11 @@
 """Event-driven simulation substrate: engine, main memory, energy, traces."""
 
+from .columnar import FlightColumns
 from .energy import EnergyCategory, EnergyLedger
 from .engine import SimulationError, Simulator
 from .events import Event, EventHandle, JobArrival
 from .mainmem import DDR4Config, SharedBandwidthPipe, Transfer
-from .trace import ExecutionTrace, Phase, TraceRecord
+from .trace import ExecutionTrace, Phase, StreamingTrace, TraceRecord
 
 __all__ = [
     "EnergyCategory",
@@ -18,6 +19,8 @@ __all__ = [
     "SharedBandwidthPipe",
     "Transfer",
     "ExecutionTrace",
+    "FlightColumns",
     "Phase",
+    "StreamingTrace",
     "TraceRecord",
 ]

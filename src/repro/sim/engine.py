@@ -7,14 +7,26 @@ time-ordered event queue with deterministic tie-breaking, on top of
 which the dispatcher (:mod:`repro.core.dispatcher`) models device
 occupancy, job queues and shared-bandwidth transfers.
 
-The hot loop is written for throughput: :meth:`Simulator.run` drains
-every event sharing a timestamp in one chunk (one heap-top comparison
-per event instead of a full Python loop iteration of bookkeeping),
-cancellation is tombstone-based with an O(1) active-event counter, and
-the heap is compacted in bulk only when tombstones dominate it
-(processor-sharing pipes cancel and reschedule completions on every
-membership change, so tombstones are the common case, not the
-exception).
+The hot loop is written for throughput:
+
+* Heap entries are plain ``(time, seq, payload)`` tuples, so every
+  sift during push/pop compares in C instead of calling a Python
+  ``__lt__`` (``seq`` is unique, so the payload is never compared).
+* :meth:`Simulator.run` drains every event sharing a timestamp in one
+  chunk (one heap-top comparison per event instead of a full Python
+  loop iteration of bookkeeping).
+* Cancellation is tombstone-based with an O(1) active-event counter,
+  and the heap is compacted in bulk only when tombstones dominate it
+  (processor-sharing pipes cancel and reschedule completions on every
+  membership change, so tombstones are the common case, not the
+  exception).
+* Besides callback events, the loop can fire *rows* of an attached
+  columnar flight table (:meth:`at_row`): the payload is a bare row
+  index and the transition logic lives in one handler, so the
+  dispatcher's phase chain needs no per-phase closure or
+  :class:`Event` object at all.  Row entries share the ``seq`` counter
+  with ordinary events, which makes the interleaving of the columnar
+  and object-based dispatch paths identical by construction.
 """
 
 from __future__ import annotations
@@ -49,10 +61,13 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[Event] = []
+        #: Heap of ``(time, seq, payload)``; payload is an
+        #: :class:`Event` or an ``int`` row index of the attached table.
+        self._queue: list[tuple[float, int, Any]] = []
         self._processed = 0
         self._active = 0
         self._tombstones = 0
+        self._fire_row: Callable[[int], None] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -76,8 +91,8 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
         event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        heapq.heappush(self._queue, (time, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._queue, event)
         self._active += 1
         return EventHandle(event, self)
 
@@ -99,6 +114,39 @@ class Simulator:
         """
         return self.at(arrival.time, callback, arrival)
 
+    # ------------------------------------------------------------------
+    def attach_row_handler(self, fire: Callable[[int], None]) -> None:
+        """Register the columnar table's transition handler.
+
+        Row entries scheduled with :meth:`at_row` fire through this
+        single handler; one simulator owns at most one table.
+        """
+        if self._fire_row is not None:
+            raise SimulationError("a row handler is already attached")
+        self._fire_row = fire
+
+    def at_row(self, time: float, row: int) -> None:
+        """Schedule row ``row`` of the attached table at ``time``.
+
+        Row entries are not cancellable (stale transitions are expected
+        to no-op inside the handler, exactly like the object path's
+        ``live()`` guard) and carry no :class:`Event`; they consume a
+        ``seq`` like any event, so ordering against callback events is
+        the same as if :meth:`at` had been used.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._queue, (time, self._seq, row))
+        self._seq += 1
+        self._active += 1
+
+    def after_row(self, delay: float, row: int) -> None:
+        """Schedule row ``row`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at_row(self._now + delay, row)
+
+    # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
         """Called by :meth:`EventHandle.cancel`: keep the O(1) pending
         count exact and remember the tombstone for compaction."""
@@ -109,9 +157,14 @@ class Simulator:
         """Drop every tombstone and re-heapify in one pass.
 
         Only called between chunks (no popped-but-unexecuted events in
-        flight), where the tombstone count is exact.
+        flight), where the tombstone count is exact.  Row entries are
+        never tombstones.
         """
-        self._queue = [event for event in self._queue if not event.cancelled]
+        self._queue = [
+            entry
+            for entry in self._queue
+            if type(entry[2]) is int or not entry[2].cancelled
+        ]
         heapq.heapify(self._queue)
         self._tombstones = 0
 
@@ -130,36 +183,49 @@ class Simulator:
         ordering is unchanged from the one-at-a-time loop).
         """
         queue = self._queue
-        chunk: list[Event] = []
+        fire_row = self._fire_row
+        chunk: list[tuple[float, int, Any]] = []
         while queue:
             head = queue[0]
-            if head.cancelled:
+            payload = head[2]
+            if type(payload) is not int and payload.cancelled:
                 heapq.heappop(queue)
                 self._tombstones -= 1
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head[0] > until:
                 self._now = until
                 return self._now
-            chunk_time = head.time
+            chunk_time = head[0]
             del chunk[:]
-            while queue and queue[0].time == chunk_time:
-                event = heapq.heappop(queue)
-                if event.cancelled:
+            while queue and queue[0][0] == chunk_time:
+                entry = heapq.heappop(queue)
+                payload = entry[2]
+                if type(payload) is not int and payload.cancelled:
                     self._tombstones -= 1
                     continue
-                chunk.append(event)
+                chunk.append(entry)
             self._now = chunk_time
-            for event in chunk:
-                if event.cancelled:
+            for idx, entry in enumerate(chunk):
+                payload = entry[2]
+                if type(payload) is not int and payload.cancelled:
                     # Cancelled by an earlier callback in this chunk.
                     self._tombstones -= 1
                     continue
                 if max_events is not None and self._processed >= max_events:
+                    # The guard may trip mid-chunk; the rest of the
+                    # chunk was already popped, so push it back before
+                    # raising or the pending/tombstone accounting is
+                    # corrupted and those events are silently lost.
+                    for unexecuted in chunk[idx:]:
+                        heapq.heappush(queue, unexecuted)
                     raise SimulationError(f"exceeded max_events={max_events}")
-                event.executed = True
                 self._processed += 1
                 self._active -= 1
-                event.callback(*event.args)
+                if type(payload) is int:
+                    fire_row(payload)
+                else:
+                    payload.executed = True
+                    payload.callback(*payload.args)
             if (
                 self._tombstones >= _COMPACT_MIN_TOMBSTONES
                 and self._tombstones * 2 > len(queue)
@@ -173,14 +239,20 @@ class Simulator:
     def step(self) -> bool:
         """Process exactly one event; returns False when queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            time, _, payload = heapq.heappop(self._queue)
+            if type(payload) is int:
+                self._now = time
+                self._processed += 1
+                self._active -= 1
+                self._fire_row(payload)
+                return True
+            if payload.cancelled:
                 self._tombstones -= 1
                 continue
-            self._now = event.time
-            event.executed = True
+            self._now = time
+            payload.executed = True
             self._processed += 1
             self._active -= 1
-            event.callback(*event.args)
+            payload.callback(*payload.args)
             return True
         return False

@@ -1,20 +1,33 @@
 """Execution traces: what ran where, when.
 
-The dispatcher records one :class:`TraceRecord` per job phase (fill,
-replication, compute).  From the trace we derive the quantities the
-paper's evaluation reports: makespan, per-device busy time and
-utilisation, and *scheduling bubbles* (device-idle gaps while work was
-still waiting), which Section III-C5 identifies as the adaptive
-scheduler's weakness that global scheduling removes.
+The dispatcher records one trace row per job phase (fill, replication,
+compute).  From the trace we derive the quantities the paper's
+evaluation reports: makespan, per-device busy time and utilisation,
+and *scheduling bubbles* (device-idle gaps while work was still
+waiting), which Section III-C5 identifies as the adaptive scheduler's
+weakness that global scheduling removes.
+
+Storage is columnar (struct-of-arrays): parallel append-only columns
+-- job id, device, phase, start, end, arrays -- instead of a list of
+Python objects.  :class:`TraceRecord` objects are materialised lazily,
+only when a caller actually asks for :attr:`ExecutionTrace.records`;
+the analytics run directly over the numeric columns with NumPy.  For
+open-ended runs (1M+ jobs) a :class:`StreamingTrace` keeps memory flat:
+each row is forwarded to a sink (e.g. a JSONL writer) and only O(1)
+aggregates are retained in memory.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
-__all__ = ["Phase", "TraceRecord", "ExecutionTrace"]
+import numpy as np
+
+__all__ = ["Phase", "TraceRecord", "ExecutionTrace", "StreamingTrace"]
 
 
 class Phase(enum.Enum):
@@ -22,6 +35,10 @@ class Phase(enum.Enum):
     REPLICATE = "replicate"
     COMPUTE = "compute"
     DRAIN = "drain"
+
+    # Identity hash (members are singletons): phase-keyed dict lookups
+    # in the analytics skip Enum's Python-level name hash.
+    __hash__ = object.__hash__
 
 
 @dataclass(frozen=True)
@@ -44,14 +61,38 @@ class TraceRecord:
         return self.end - self.start
 
 
-@dataclass
 class ExecutionTrace:
-    """Append-only trace with derived schedule metrics."""
+    """Append-only columnar trace with derived schedule metrics.
 
-    records: list[TraceRecord] = field(default_factory=list)
+    The public surface is unchanged from the object-based trace:
+    :meth:`record` / :meth:`add` append, :attr:`records` yields
+    :class:`TraceRecord` objects (materialised on first access and
+    cached until the next append).
+    """
 
-    def add(self, record: TraceRecord) -> None:
-        self.records.append(record)
+    __slots__ = (
+        "_job_ids",
+        "_devices",
+        "_phases",
+        "_starts",
+        "_ends",
+        "_arrays",
+        "_materialised",
+    )
+
+    def __init__(self, records: list[TraceRecord] | None = None) -> None:
+        self._job_ids: list[str] = []
+        self._devices: list[str] = []
+        self._phases: list[Phase] = []
+        self._starts = array("d")
+        self._ends = array("d")
+        self._arrays = array("q")
+        self._materialised: list[TraceRecord] | None = None
+        for record in records or ():
+            self.add(record)
+
+    def __len__(self) -> int:
+        return len(self._starts)
 
     def record(
         self,
@@ -62,36 +103,99 @@ class ExecutionTrace:
         end: float,
         arrays: int = 0,
     ) -> None:
-        self.add(TraceRecord(job_id, device, phase, start, end, arrays))
+        if end < start:
+            raise ValueError("trace record ends before it starts")
+        self._job_ids.append(job_id)
+        self._devices.append(device)
+        self._phases.append(phase)
+        self._starts.append(start)
+        self._ends.append(end)
+        self._arrays.append(arrays)
+        self._materialised = None
+
+    def add(self, record: TraceRecord) -> None:
+        self.record(
+            record.job_id,
+            record.device,
+            record.phase,
+            record.start,
+            record.end,
+            record.arrays,
+        )
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The trace as :class:`TraceRecord` objects (lazy, cached)."""
+        if self._materialised is None:
+            self._materialised = [
+                TraceRecord(*row)
+                for row in zip(
+                    self._job_ids,
+                    self._devices,
+                    self._phases,
+                    self._starts,
+                    self._ends,
+                    self._arrays,
+                )
+            ]
+        return self._materialised
+
+    # -- columnar views -------------------------------------------------
+    # Copies, not buffer views: a live view of an ``array`` would make
+    # the next append raise BufferError ("exporting buffers").
+    def starts(self) -> np.ndarray:
+        return np.frombuffer(self._starts, dtype=np.float64).copy()
+
+    def ends(self) -> np.ndarray:
+        return np.frombuffer(self._ends, dtype=np.float64).copy()
+
+    def _device_mask(self, device: str) -> np.ndarray:
+        return np.fromiter(
+            (d == device for d in self._devices),
+            dtype=bool,
+            count=len(self._devices),
+        )
 
     # ------------------------------------------------------------------
     @property
     def makespan(self) -> float:
-        if not self.records:
+        if not self._ends:
             return 0.0
-        return max(r.end for r in self.records)
+        return float(self.ends().max())
 
     def devices(self) -> list[str]:
-        return sorted({r.device for r in self.records})
+        return sorted(set(self._devices))
 
     def job_ids(self) -> list[str]:
-        return sorted({r.job_id for r in self.records})
+        return sorted(set(self._job_ids))
+
+    def _intervals(self, device: str) -> np.ndarray:
+        """(n, 2) start/end pairs on ``device``, sorted lexicographically
+        (matching the object-based ``sorted()`` of tuples)."""
+        mask = self._device_mask(device)
+        pairs = np.column_stack((self.starts()[mask], self.ends()[mask]))
+        if pairs.size:
+            order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+            pairs = pairs[order]
+        return pairs
+
+    @staticmethod
+    def _union_length(pairs: np.ndarray) -> float:
+        """Union length of sorted intervals, vectorised: each interval
+        contributes the part past the running maximum of earlier ends."""
+        if not pairs.size:
+            return 0.0
+        starts, ends = pairs[:, 0], pairs[:, 1]
+        cover = np.empty_like(ends)
+        cover[0] = starts[0]
+        np.maximum.accumulate(ends[:-1], out=cover[1:])
+        cover[1:] = np.maximum(cover[1:], starts[1:])
+        cover[0] = starts[0]
+        return float(np.maximum(0.0, ends - cover).sum())
 
     def busy_time(self, device: str) -> float:
         """Union length of the device's active intervals."""
-        intervals = sorted(
-            (r.start, r.end) for r in self.records if r.device == device
-        )
-        busy = 0.0
-        cursor = None
-        for start, end in intervals:
-            if cursor is None or start > cursor:
-                busy += end - start
-                cursor = end
-            elif end > cursor:
-                busy += end - cursor
-                cursor = end
-        return busy
+        return self._union_length(self._intervals(device))
 
     def utilisation(self, device: str) -> float:
         span = self.makespan
@@ -100,10 +204,14 @@ class ExecutionTrace:
         return self.busy_time(device) / span
 
     def job_span(self, job_id: str) -> tuple[float, float]:
-        records = [r for r in self.records if r.job_id == job_id]
-        if not records:
+        mask = np.fromiter(
+            (j == job_id for j in self._job_ids),
+            dtype=bool,
+            count=len(self._job_ids),
+        )
+        if not mask.any():
             raise KeyError(f"no trace records for job {job_id!r}")
-        return min(r.start for r in records), max(r.end for r in records)
+        return float(self.starts()[mask].min()), float(self.ends()[mask].max())
 
     def job_latency(self, job_id: str) -> float:
         start, end = self.job_span(job_id)
@@ -111,21 +219,102 @@ class ExecutionTrace:
 
     def bubble_time(self, device: str) -> float:
         """Idle time on ``device`` between its first and last activity."""
-        intervals = sorted(
-            (r.start, r.end) for r in self.records if r.device == device
-        )
-        if not intervals:
+        pairs = self._intervals(device)
+        if not pairs.size:
             return 0.0
-        first = intervals[0][0]
-        last = max(end for _, end in intervals)
-        return (last - first) - self.busy_time(device)
+        first = float(pairs[0, 0])
+        last = float(pairs[:, 1].max())
+        return (last - first) - self._union_length(pairs)
 
     def phase_time(self, phase: Phase) -> float:
         """Total (possibly overlapping) time spent in ``phase``."""
-        return sum(r.duration for r in self.records if r.phase is phase)
+        return sum(
+            e - s
+            for s, e, p in zip(self._starts, self._ends, self._phases)
+            if p is phase
+        )
 
     def per_device_phase_breakdown(self) -> dict[str, dict[str, float]]:
         out: dict[str, dict[str, float]] = defaultdict(lambda: defaultdict(float))
-        for r in self.records:
-            out[r.device][r.phase.value] += r.duration
+        for device, phase, start, end in zip(
+            self._devices, self._phases, self._starts, self._ends
+        ):
+            out[device][phase.value] += end - start
         return {device: dict(phases) for device, phases in out.items()}
+
+
+class StreamingTrace:
+    """Trace sink for open-ended runs: rows stream out, memory stays flat.
+
+    Implements the same :meth:`record` / :meth:`add` append interface
+    as :class:`ExecutionTrace`, but keeps no per-row state: each row is
+    forwarded to ``sink`` (a callable receiving ``(job_id, device,
+    phase_value, start, end, arrays)`` tuples -- e.g. a JSONL writer or
+    a downsampling aggregator) and only O(1) running aggregates stay in
+    memory, so a 1M-job serving run does not hold 3M+ trace rows.
+
+    Supported analytics are the aggregate subset: :attr:`makespan`,
+    :meth:`devices`, :meth:`phase_time` and
+    :meth:`per_device_phase_breakdown`.  Row-level queries
+    (:attr:`records`, ``busy_time``...) need the full trace and raise
+    :class:`TypeError`.
+    """
+
+    __slots__ = ("sink", "rows", "_makespan", "_phase_seconds", "_by_device")
+
+    def __init__(self, sink: Callable[[tuple], None] | None = None) -> None:
+        self.sink = sink
+        self.rows = 0
+        self._makespan = 0.0
+        self._phase_seconds: dict[Phase, float] = {}
+        self._by_device: dict[str, dict[str, float]] = {}
+
+    def record(
+        self,
+        job_id: str,
+        device: str,
+        phase: Phase,
+        start: float,
+        end: float,
+        arrays: int = 0,
+    ) -> None:
+        if end < start:
+            raise ValueError("trace record ends before it starts")
+        self.rows += 1
+        if end > self._makespan:
+            self._makespan = end
+        duration = end - start
+        self._phase_seconds[phase] = self._phase_seconds.get(phase, 0.0) + duration
+        per_phase = self._by_device.setdefault(device, {})
+        per_phase[phase.value] = per_phase.get(phase.value, 0.0) + duration
+        if self.sink is not None:
+            self.sink((job_id, device, phase.value, start, end, arrays))
+
+    def add(self, record: TraceRecord) -> None:
+        self.record(
+            record.job_id,
+            record.device,
+            record.phase,
+            record.start,
+            record.end,
+            record.arrays,
+        )
+
+    @property
+    def makespan(self) -> float:
+        return self._makespan
+
+    def devices(self) -> list[str]:
+        return sorted(self._by_device)
+
+    def phase_time(self, phase: Phase) -> float:
+        return self._phase_seconds.get(phase, 0.0)
+
+    def per_device_phase_breakdown(self) -> dict[str, dict[str, float]]:
+        return {device: dict(phases) for device, phases in self._by_device.items()}
+
+    @property
+    def records(self):
+        raise TypeError(
+            "StreamingTrace keeps no rows; attach a sink to capture them"
+        )

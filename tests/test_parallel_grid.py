@@ -8,7 +8,7 @@ and workers share no mutable state.
 
 import pytest
 
-from repro.harness.bench import check_regression
+from repro.harness.bench import check_cache_health, check_regression
 from repro.harness.experiments import (
     full_registry,
     run_experiment_grid,
@@ -71,3 +71,47 @@ class TestBenchRegressionGate:
 
     def test_faster_than_reference_passes(self):
         assert check_regression(self._payload(150.0), self._payload(100.0)) == []
+
+
+class TestCacheHealthGate:
+    """A cache with lookups but zero hits is a wiring bug, not a
+    tuning knob -- exactly how the ``perfmodel.min_time`` key bug
+    shipped unnoticed."""
+
+    @staticmethod
+    def _payload(caches: dict) -> dict:
+        return {"caches": caches}
+
+    def test_healthy_caches_pass(self):
+        payload = self._payload(
+            {"perfmodel.knee": {"hits": 90, "misses": 10, "hit_rate": 0.9}}
+        )
+        assert check_cache_health(payload) == []
+
+    def test_dead_cache_fails(self):
+        payload = self._payload(
+            {"perfmodel.min_time": {"hits": 0, "misses": 40, "hit_rate": 0.0}}
+        )
+        failures = check_cache_health(payload)
+        assert failures and "perfmodel.min_time" in failures[0]
+        assert "dead" in failures[0]
+
+    def test_untouched_cache_is_fine(self):
+        payload = self._payload(
+            {"isa.timing": {"hits": 0, "misses": 0, "hit_rate": 0.0}}
+        )
+        assert check_cache_health(payload) == []
+
+    def test_all_dead_caches_reported(self):
+        payload = self._payload(
+            {
+                "a": {"hits": 0, "misses": 5},
+                "b": {"hits": 1, "misses": 5},
+                "c": {"hits": 0, "misses": 2},
+            }
+        )
+        failures = check_cache_health(payload)
+        assert len(failures) == 2
+
+    def test_missing_caches_section_passes(self):
+        assert check_cache_health({}) == []

@@ -195,3 +195,28 @@ class TestPlannedJobMemo:
         pj = self._planned(16)
         assert pj.est_time == pj.estimate.total_time(16)
         assert "_est_time" not in pj.__dict__
+
+
+class TestMinTimeCacheOnFig10Sweep:
+    """Regression gate for the dead ``perfmodel.min_time`` cache.
+
+    The Fig. 10 sizing ablation is the one workload that calls
+    :func:`min_time_allocation` in anger (``sizing="min"``).  Before
+    the key normalisation fix, every lookup missed -- value-equal
+    searches landed on distinct keys because non-timing profile fields
+    (``fill_bytes``, ``compute_energy_j``, ``vector_width``) entered
+    the key -- and the 0% hit rate went unnoticed because the cache is
+    slow-but-correct.  Pin a real hit rate on the real sweep.
+    """
+
+    def test_fig10_sweep_produces_min_time_hits(self):
+        from repro.harness.ablations import ablation_knee
+
+        ablation_knee("collab")
+        stats = perfmodel.cache_stats()["perfmodel.min_time"]
+        lookups = stats["hits"] + stats["misses"]
+        assert lookups > 0, "sweep never reached min_time_allocation"
+        assert stats["hits"] > 0, "min_time cache is dead again (0% hit rate)"
+        # Well clear of zero, well short of flaky: the collab sweep
+        # measured ~54% when the key fix landed.
+        assert stats["hit_rate"] > 0.25

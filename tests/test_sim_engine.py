@@ -188,3 +188,93 @@ class TestChunkedDrain:
         sim.run()
         assert log == ["first", "second", "chained"]
         assert sim.now == 1.0
+
+    def test_schedule_at_now_during_tombstone_majority_drain(self):
+        """Regression: a callback schedules at exactly ``now`` while the
+        heap is tombstone-majority, so compaction runs between the
+        current chunk and the scheduled-at-now chunk.  The at-now event
+        must still fire at the same timestamp, after the whole current
+        chunk, with exact accounting."""
+        sim = Simulator()
+        log = []
+        # Far-future events that will all be cancelled: enough to trip
+        # _COMPACT_MIN_TOMBSTONES and the majority condition.
+        victims = [sim.at(10.0, log.append, f"victim{i}") for i in range(200)]
+
+        def first():
+            log.append("first")
+            for handle in victims:
+                handle.cancel()
+            sim.at(1.0, log.append, "at-now")  # joins the next chunk at t=1
+
+        sim.at(1.0, first)
+        sim.at(1.0, log.append, "second")
+        sim.at(2.0, log.append, "later")
+        sim.run()
+        assert log == ["first", "second", "at-now", "later"]
+        assert sim.now == 2.0
+        assert sim.pending == 0
+        assert sim.processed == 4
+
+    def test_max_events_mid_chunk_keeps_queue_consistent(self):
+        """Regression: the ``max_events`` guard used to trip mid-chunk
+        with the rest of the chunk already popped off the heap, losing
+        those events and corrupting ``pending``.  The survivors must
+        stay pending and run exactly once on resume."""
+        sim = Simulator()
+        log = []
+        for label in "abcde":
+            sim.at(1.0, log.append, label)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=2)
+        assert log == ["a", "b"]
+        assert sim.pending == 3
+        sim.run()
+        assert log == ["a", "b", "c", "d", "e"]
+        assert sim.pending == 0
+        assert sim.processed == 5
+
+
+def _random_schedule(seed: int):
+    """A deterministic command list stressing same-timestamp chunks,
+    cancellations and at-now chains, replayable on any simulator."""
+    import random
+
+    rng = random.Random(seed)
+    times = [rng.choice((1.0, 1.0, 1.0, 2.0, 3.0)) for _ in range(120)]
+    cancels = [rng.randrange(120) for _ in range(80)]
+    chain_at_now = {rng.randrange(120) for _ in range(20)}
+    return times, cancels, chain_at_now
+
+
+def _drive(sim: Simulator, seed: int, use_step: bool):
+    times, cancels, chain_at_now = _random_schedule(seed)
+    log = []
+    handles = {}
+
+    def fire(i):
+        log.append((sim.now, i))
+        if i in chain_at_now:
+            sim.at(sim.now, log.append, (sim.now, f"chained-{i}"))
+        for j in cancels:
+            if (i + j) % 7 == 0 and j in handles:
+                handles[j].cancel()
+
+    for i, t in enumerate(times):
+        handles[i] = sim.at(t, fire, i)
+    if use_step:
+        while sim.step():
+            pass
+    else:
+        sim.run()
+    return log, sim.now, sim.processed, sim.pending
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_run_and_step_are_equivalent_under_cancellation(seed):
+    """Seeded differential fuzz: the chunked ``run()`` drain (with its
+    tombstone compaction) and the one-at-a-time ``step()`` loop must
+    produce identical firing sequences and accounting."""
+    a = _drive(Simulator(), seed, use_step=False)
+    b = _drive(Simulator(), seed, use_step=True)
+    assert a == b
