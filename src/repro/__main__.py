@@ -13,6 +13,8 @@ Usage::
     python -m repro serve --arrivals poisson --rate 50 --tenants 3 --slo 10
     python -m repro predictor train --dataset collab --out pred.json
     python -m repro serve --predictor online   # self-training serve run
+    python -m repro cluster --nodes 4 --rate 200 --placement hash
+    python -m repro cluster --nodes 2 --fail-node node-1:0.5 --json out.json
 """
 
 from __future__ import annotations
@@ -379,6 +381,99 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Cluster serving run: placement, sharded node sims, merged SLOs."""
+    import json
+
+    from .cluster import ClusterRuntime, ClusterSpec, NodeFault
+    from .faults.plan import FaultPlan
+    from .harness.config import full_system, gnn_system
+    from .serving import PoissonArrivals, Tenant
+
+    if args.nodes < 1:
+        print("--nodes must be at least 1", file=sys.stderr)
+        return 2
+    if args.tenants < 1:
+        print("--tenants must be at least 1", file=sys.stderr)
+        return 2
+    if args.slo <= 0:
+        print("--slo must be positive (milliseconds)", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+    system = gnn_system() if args.system == "gnn" else full_system()
+    spec = ClusterSpec.homogeneous(args.nodes, system=system)
+    node_faults = []
+    for entry in args.fail_node or []:
+        name, sep, when = entry.rpartition(":")
+        try:
+            if not sep:
+                raise ValueError
+            node_faults.append(NodeFault(node=name, time=float(when)))
+        except ValueError:
+            print(
+                f"--fail-node wants NODE:SECONDS, got {entry!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if name not in spec.names:
+            print(
+                f"--fail-node names unknown node {name!r}; "
+                f"nodes are {', '.join(spec.names)}",
+                file=sys.stderr,
+            )
+            return 2
+    tenant_names = tuple(f"tenant-{i}" for i in range(args.tenants))
+    process = PoissonArrivals(
+        rate=args.rate,
+        horizon=args.horizon,
+        seed=args.seed,
+        tenants=tenant_names,
+    )
+    # Same deliberate weight asymmetry as `serve`.
+    tenants = [
+        Tenant(
+            name,
+            weight=float(len(tenant_names) - i),
+            queue_limit=args.queue_limit,
+        )
+        for i, name in enumerate(tenant_names)
+    ]
+    faults = FaultPlan.load(args.faults) if args.faults else None
+    runtime = ClusterRuntime(
+        spec,
+        scheduler=args.scheduler,
+        placement=args.placement,
+        max_backlog=args.max_backlog,
+    )
+    result = runtime.serve(
+        process,
+        tenants=tenants,
+        slo_s=args.slo * 1e-3,
+        faults=faults,
+        node_faults=tuple(node_faults),
+        shards=args.shards,
+        label=f"{args.scheduler}/cluster",
+    )
+    print(result.report)
+    stats = result.stats
+    print(
+        f"placement[{stats.placement}]  handoffs {stats.handoffs} "
+        f"({stats.handoff_bytes / 1e6:.1f} MB)  replicas {stats.replicas} "
+        f"({stats.replica_bytes / 1e6:.1f} MB)  lost {stats.total_lost}  "
+        f"throughput {result.completed_per_sec:,.0f} jobs/s"
+    )
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -542,6 +637,81 @@ def main(argv: list[str] | None = None) -> int:
         "OnlinePredictor fed by completion actuals, or the path of a "
         "saved predictor artifact from 'predictor train'",
     )
+    cluster = sub.add_parser(
+        "cluster",
+        help="cluster serving run: two-level scheduling over N nodes, "
+        "per-node sims sharded across processes, merged SLO report",
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=2, metavar="N",
+        help="homogeneous node count (default: 2)",
+    )
+    cluster.add_argument(
+        "--rate", type=float, default=50.0, metavar="JOBS_PER_S",
+        help="aggregate Poisson arrival rate in jobs/second (default: 50)",
+    )
+    cluster.add_argument(
+        "--horizon", type=float, default=1.0, metavar="SECONDS",
+        help="arrival-generation horizon; the run then drains (default: 1.0)",
+    )
+    cluster.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="tenant count (default: 3)",
+    )
+    cluster.add_argument(
+        "--slo", type=float, default=10.0, metavar="MS",
+        help="per-tenant sojourn-time SLO in milliseconds (default: 10)",
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=0,
+        help="arrival/workload seed; same seed -> byte-identical report",
+    )
+    cluster.add_argument(
+        "--scheduler",
+        choices=["ljf", "adaptive", "global"],
+        default="adaptive",
+        help="per-node scheduling policy (default: adaptive)",
+    )
+    cluster.add_argument(
+        "--placement",
+        choices=["least-loaded", "hash", "round-robin"],
+        default="least-loaded",
+        help="cluster-level placement policy (default: least-loaded)",
+    )
+    cluster.add_argument(
+        "--system",
+        choices=["full", "gnn"],
+        default="full",
+        help="per-node device set: full Table III or the scaled GNN "
+        "system (default: full)",
+    )
+    cluster.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="per-tenant bounded-queue depth per node (default: 64)",
+    )
+    cluster.add_argument(
+        "--max-backlog", type=int, default=32, metavar="N",
+        help="released-but-undispatched jobs each node's policy may "
+        "hold (default: 32)",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes for the node simulations (capped at the "
+        "node count; output is byte-identical either way; default: 1)",
+    )
+    cluster.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="inject a JSON device-fault plan into every node",
+    )
+    cluster.add_argument(
+        "--fail-node", metavar="NODE:SECONDS", action="append", default=None,
+        help="lose a whole node at a point in time (repeatable), "
+        "e.g. --fail-node node-1:0.5",
+    )
+    cluster.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the merged cluster report as JSON",
+    )
     predictor = sub.add_parser(
         "predictor",
         help="train, evaluate, or export a reusable MLP predictor "
@@ -591,6 +761,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "cluster":
+        return cmd_cluster(args)
     if args.command == "predictor":
         if args.action in {"eval", "export"} and not args.model:
             print(f"predictor {args.action} needs --model PATH", file=sys.stderr)

@@ -1,0 +1,52 @@
+"""Cluster-scale MLIMP: many nodes, two-level scheduling, sharded sim.
+
+The paper -- and every layer below this package -- models **one**
+node's SRAM/DRAM/ReRAM hierarchy.  ``repro.cluster`` scales that out
+to a fleet (the ROADMAP's Tesseract-style north star): a
+:class:`ClusterSpec` of nodes that each own a full
+:class:`~repro.core.scheduler.base.MLIMPSystem`, an
+:class:`InterconnectSpec` pricing cross-node handoff and replicated
+fills, and a :class:`ClusterRuntime` that runs the two-level
+scheduler -- cluster placement (:mod:`repro.cluster.placement`) above
+the existing per-node dispatch policies -- with the per-node
+simulations sharded across processes and merged deterministically.
+
+    python -m repro cluster --nodes 4 --rate 600000 --placement hash
+"""
+
+from .placement import (
+    PLACEMENTS,
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    home_node,
+)
+from .report import ClusterStats, NodeOutcome, build_cluster_report
+from .runtime import ClusterResult, ClusterRuntime
+from .spec import (
+    ClusterSpec,
+    InterconnectSpec,
+    NodeFault,
+    NodeSpec,
+    node_fail_events,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "InterconnectSpec",
+    "NodeSpec",
+    "NodeFault",
+    "node_fail_events",
+    "PlacementPolicy",
+    "LeastLoadedPlacement",
+    "HashPlacement",
+    "RoundRobinPlacement",
+    "PLACEMENTS",
+    "home_node",
+    "ClusterStats",
+    "NodeOutcome",
+    "build_cluster_report",
+    "ClusterResult",
+    "ClusterRuntime",
+]

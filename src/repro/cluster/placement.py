@@ -1,0 +1,166 @@
+"""Cluster-level placement: the top half of the two-level scheduler.
+
+Per-node scheduling is already solved -- each node runs one of the
+existing :class:`~repro.core.scheduler.base.DispatchPolicy` families,
+fed through its ``admit``/``device_lost`` hooks by the node's serving
+loop.  What a cluster adds is the *upper* decision: **which node gets
+each arriving job**.  A :class:`PlacementPolicy` makes that call per
+arrival, in arrival order, using only information available at the
+arrival's timestamp (estimated backlogs, tenant homes, node liveness)
+-- never the future of the stream and never the inner simulation
+state.  That causality restriction is what keeps the per-node
+simulations independent, and therefore shardable across processes
+with a deterministic merge (see ``cluster/runtime.py``).
+
+Three policies, mirroring the placement framings of "Efficient
+Deployment of CNN Models on Multiple In-Memory Computing Units"
+(PAPERS.md):
+
+* :class:`LeastLoadedPlacement` -- fluid backlog model: each node
+  drains estimated work at one second per second; an arrival goes to
+  the node with the smallest outstanding estimate and deposits its
+  own predicted service time there.
+* :class:`HashPlacement` -- locality-aware: a tenant's jobs hash to a
+  stable **home node** (CRC32, never Python's salted ``hash``), so
+  its resident state is filled once and handoff/replication costs
+  vanish; dead homes rehash deterministically.
+* :class:`RoundRobinPlacement` -- the oblivious baseline.
+
+All three are deterministic: same arrival stream, same assignment.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+
+from ..core.job import Job
+from ..sim.events import JobArrival
+
+__all__ = [
+    "PlacementPolicy",
+    "LeastLoadedPlacement",
+    "HashPlacement",
+    "RoundRobinPlacement",
+    "PLACEMENTS",
+    "home_node",
+    "estimate_service_time",
+    "job_fill_bytes",
+]
+
+
+def home_node(tenant: str, n_nodes: int, salt: int = 0) -> int:
+    """Stable home of ``tenant`` among ``n_nodes`` (CRC32, so it is
+    identical across processes and interpreter runs)."""
+    key = tenant if salt == 0 else f"{tenant}#{salt}"
+    return zlib.crc32(key.encode()) % n_nodes
+
+
+def estimate_service_time(job: Job) -> float:
+    """Cheap service-time proxy for load bookkeeping: the best
+    unit-allocation total time across the job's memory profiles."""
+    return min(
+        profile.total_time(profile.unit_arrays)
+        for profile in job.profiles.values()
+    )
+
+
+def job_fill_bytes(job: Job) -> float:
+    """Input bytes a cross-node handoff must move: the largest
+    per-layer fill (profiles of one job share their input)."""
+    return max(profile.fill_bytes for profile in job.profiles.values())
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the node for each arrival, one arrival at a time."""
+
+    name: str = "placement"
+
+    def reset(self, n_nodes: int) -> None:
+        """Start a new placement pass over ``n_nodes`` nodes."""
+        self.n_nodes = n_nodes
+
+    @abc.abstractmethod
+    def choose(
+        self, arrival: JobArrival, candidates: list[int], est_service_s: float
+    ) -> int:
+        """Pick one of ``candidates`` (alive node indices, ascending)
+        for this arrival.  ``est_service_s`` is the job's estimated
+        service time, for load bookkeeping."""
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Send each arrival to the node with the least estimated backlog.
+
+    The backlog is a fluid approximation: every node drains estimated
+    work at one second of work per second of simulated time, and each
+    placed job deposits its estimated service time.  Ties break on
+    the lowest node index, so placement is deterministic.
+    """
+
+    name = "least-loaded"
+
+    def reset(self, n_nodes: int) -> None:
+        super().reset(n_nodes)
+        self._backlog = [0.0] * n_nodes
+        self._clock = 0.0
+
+    def choose(
+        self, arrival: JobArrival, candidates: list[int], est_service_s: float
+    ) -> int:
+        elapsed = arrival.time - self._clock
+        if elapsed > 0:
+            self._backlog = [max(0.0, b - elapsed) for b in self._backlog]
+            self._clock = arrival.time
+        chosen = min(candidates, key=lambda i: (self._backlog[i], i))
+        self._backlog[chosen] += est_service_s
+        return chosen
+
+
+class HashPlacement(PlacementPolicy):
+    """Locality-aware: every tenant sticks to its hash-derived home.
+
+    Jobs of one tenant always land on one node, so the tenant's
+    resident state is replicated nowhere and handoff costs are zero
+    -- at the price of ignoring load skew.  If the home node is dead,
+    the tenant rehashes with an increasing salt until a live node is
+    found (deterministic, and stable for the rest of the run since
+    node failures are permanent).
+    """
+
+    name = "hash"
+
+    def choose(
+        self, arrival: JobArrival, candidates: list[int], est_service_s: float
+    ) -> int:
+        alive = set(candidates)
+        for salt in range(self.n_nodes + 1):
+            node = home_node(arrival.tenant, self.n_nodes, salt)
+            if node in alive:
+                return node
+        return candidates[0]  # pragma: no cover - salts cover all nodes
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through live nodes in arrival order (oblivious baseline)."""
+
+    name = "round-robin"
+
+    def reset(self, n_nodes: int) -> None:
+        super().reset(n_nodes)
+        self._next = 0
+
+    def choose(
+        self, arrival: JobArrival, candidates: list[int], est_service_s: float
+    ) -> int:
+        chosen = candidates[self._next % len(candidates)]
+        self._next += 1
+        return chosen
+
+
+#: Placement registry (the CLI's ``--placement`` namespace).
+PLACEMENTS: dict[str, type[PlacementPolicy]] = {
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+    HashPlacement.name: HashPlacement,
+    RoundRobinPlacement.name: RoundRobinPlacement,
+}

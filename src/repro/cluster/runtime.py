@@ -1,0 +1,332 @@
+"""ClusterRuntime: two-level scheduling over sharded node simulations.
+
+One cluster run is three passes:
+
+1. **Placement** (cluster level, causal): the arrival timeline is
+   generated once for the whole fleet, then walked in arrival order.
+   A :class:`~repro.cluster.placement.PlacementPolicy` assigns each
+   arrival to a live node using only information available at that
+   timestamp; jobs placed away from their tenant's CRC32 home node
+   pay the interconnect handoff (and, on a tenant's first landing on
+   a foreign node, a replicated fill), which *delays their node-local
+   arrival time*.  Dead nodes (``NodeFault``) stop being candidates.
+2. **Node simulation** (per node, independent): each node replays its
+   slice of the timeline through an ordinary
+   :class:`~repro.serving.runtime.ServingRuntime` -- same scheduler
+   stack, same ``admit``/``device_lost`` hooks, same fault machinery
+   (node losses are compiled onto the node's
+   :class:`~repro.faults.plan.FaultPlan`).  Because placement never
+   looks inside a node, the per-node simulations share nothing and
+   run **embarrassingly parallel**: ``shards > 1`` fans them out over
+   a ``ProcessPoolExecutor`` (the ``run_experiment_grid`` pattern,
+   turned inward on a single run).
+3. **Merge** (deterministic): node outcomes are plain data, combined
+   in node order into one cluster-level
+   :class:`~repro.serving.report.ServingReport` regardless of how
+   many processes produced them -- the same inputs give
+   byte-identical cluster output for any shard count.
+
+A 1-node cluster degenerates exactly to the single-node serving path:
+every tenant's home is node 0, no handoff delay is ever added, and
+the node replays the unmodified timeline -- traces, reports and
+export payloads are byte-identical to ``ServingRuntime.serve`` on the
+same system (see ``tests/test_cluster_serving.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.runtime import _SCHEDULERS
+from ..faults.plan import FaultPlan
+from ..obs.export import result_payload
+from ..serving.arrivals import ArrivalProcess, TimelineArrivals
+from ..serving.report import ServingReport
+from ..serving.runtime import DEFAULT_SLO_S, ServingRuntime
+from ..serving.tenants import Tenant
+from ..serving.workload import OpenWorkload
+from ..sim.events import JobArrival
+from .placement import (
+    PLACEMENTS,
+    PlacementPolicy,
+    estimate_service_time,
+    home_node,
+    job_fill_bytes,
+)
+from .report import ClusterStats, NodeOutcome, build_cluster_report
+from .spec import ClusterSpec, NodeFault, NodeSpec, node_fail_events
+
+__all__ = ["ClusterResult", "ClusterRuntime"]
+
+
+@dataclass(frozen=True)
+class _NodeTask:
+    """One node's complete, self-contained simulation order.
+
+    Frozen plain data so it pickles across the process pool; the
+    worker rebuilds the ServingRuntime from it on the far side.
+    """
+
+    index: int
+    name: str
+    node: NodeSpec
+    scheduler: str
+    max_backlog: int
+    arrivals: tuple[JobArrival, ...]
+    tenants: tuple[Tenant, ...]
+    slo_s: float
+    faults: FaultPlan | None
+    label: str
+
+
+def _run_node_task(task: _NodeTask) -> NodeOutcome:
+    """Run one node's serving simulation (module-level for pickling).
+
+    Pure function of the task: in-process and pooled execution return
+    identical outcomes.
+    """
+    runtime = ServingRuntime(
+        task.node.system,
+        scheduler=task.scheduler,
+        max_backlog=task.max_backlog,
+    )
+    serving = runtime.serve(
+        TimelineArrivals(arrivals=task.arrivals),
+        tenants=list(task.tenants),
+        slo_s=task.slo_s,
+        label=task.label,
+        faults=task.faults,
+    )
+    sojourns: dict[str, tuple[str, float]] = {}
+    for job_id, record in serving.result.records.items():
+        arrived = serving.open_loop.arrival_times.get(job_id)
+        if arrived is None:
+            continue
+        tenant = serving.open_loop.job_tenants[job_id]
+        sojourns[job_id] = (tenant, record.finished_at - arrived)
+    return NodeOutcome(
+        index=task.index,
+        name=task.name,
+        report=serving.report,
+        payload=result_payload(serving.result),
+        tenant_stats=serving.open_loop.tenant_stats(),
+        sojourns=sojourns,
+        makespan=serving.result.makespan,
+        failed_jobs=dict(serving.result.failed_jobs),
+    )
+
+
+@dataclass
+class ClusterResult:
+    """One cluster run: merged report, per-node artefacts, accounting."""
+
+    spec: ClusterSpec
+    report: ServingReport
+    #: node name -> that node's own ServingReport.
+    node_reports: dict[str, ServingReport]
+    #: node name -> ``result_payload`` of the node's dispatch run.
+    node_payloads: dict[str, dict]
+    stats: ClusterStats
+
+    @property
+    def makespan(self) -> float:
+        return self.report.makespan
+
+    @property
+    def completed(self) -> int:
+        return self.report.completed
+
+    @property
+    def completed_per_sec(self) -> float:
+        """Cluster throughput in completed jobs per simulated second."""
+        return self.completed / self.makespan if self.makespan > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (per-node payloads stay out: they are
+        full traces, exported separately when wanted)."""
+        return {
+            "n_nodes": len(self.spec),
+            "report": self.report.as_dict(),
+            "cluster": self.stats.as_dict(),
+            "completed_per_sec": self.completed_per_sec,
+        }
+
+
+@dataclass
+class ClusterRuntime:
+    """Open-system serving across a fleet of MLIMP nodes."""
+
+    cluster: ClusterSpec
+    scheduler: str = "adaptive"
+    placement: str | PlacementPolicy = "least-loaded"
+    max_backlog: int = 32
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(_SCHEDULERS)}"
+            )
+        if (
+            isinstance(self.placement, str)
+            and self.placement not in PLACEMENTS
+        ):
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {sorted(PLACEMENTS)}"
+            )
+
+    def _make_placement(self) -> PlacementPolicy:
+        if isinstance(self.placement, PlacementPolicy):
+            return self.placement
+        return PLACEMENTS[self.placement]()
+
+    # ------------------------------------------------------------------
+    def _node_plans(
+        self, faults, node_faults: tuple[NodeFault, ...]
+    ) -> dict[int, FaultPlan]:
+        """Per-node fault plans: device plans merged with compiled
+        node losses.  A node with neither gets no plan at all, so its
+        run takes the exact fault-free code path."""
+        plans: dict[int, FaultPlan] = {}
+        for fault in node_faults:
+            self.cluster.index_of(fault.node)  # KeyError on unknown
+        for i, node in enumerate(self.cluster.nodes):
+            if isinstance(faults, FaultPlan):
+                base = faults
+            elif faults:
+                base = faults.get(node.name)
+            else:
+                base = None
+            fail_events = tuple(
+                event
+                for fault in node_faults
+                if fault.node == node.name
+                for event in node_fail_events(node, fault)
+            )
+            if fail_events:
+                plans[i] = (
+                    dataclasses.replace(
+                        base, events=base.events + fail_events
+                    )
+                    if base
+                    else FaultPlan(events=fail_events)
+                )
+            elif base:
+                plans[i] = base
+        return plans
+
+    def serve(
+        self,
+        arrivals: ArrivalProcess,
+        tenants: list[Tenant],
+        slo_s: float = DEFAULT_SLO_S,
+        faults: FaultPlan | dict[str, FaultPlan] | None = None,
+        node_faults: tuple[NodeFault, ...] = (),
+        workload: OpenWorkload | None = None,
+        shards: int | None = None,
+        label: str = "",
+    ) -> ClusterResult:
+        """Place the arrival stream, simulate every node, merge.
+
+        ``faults`` is either one :class:`FaultPlan` applied to every
+        node or a ``{node name: plan}`` mapping; ``node_faults`` lose
+        whole nodes and compose with both.  ``shards`` > 1 runs the
+        node simulations in that many worker processes (capped at the
+        node count); the merged output is byte-identical either way.
+        """
+        spec = self.cluster
+        n = len(spec)
+        interconnect = spec.interconnect
+        fail_time = [float("inf")] * n
+        for fault in node_faults:
+            i = spec.index_of(fault.node)
+            fail_time[i] = min(fail_time[i], fault.time)
+
+        maker = workload or OpenWorkload(spec.nodes[0].system)
+        timeline = arrivals.generate(maker.make_job)
+
+        # Pass 1: causal placement over the fleet-wide timeline.
+        policy = self._make_placement()
+        policy.reset(n)
+        stats = ClusterStats(
+            placement=policy.name,
+            placed={node.name: 0 for node in spec.nodes},
+        )
+        per_node: list[list[JobArrival]] = [[] for _ in range(n)]
+        replicated: set[tuple[str, int]] = set()
+        for arrival in timeline:
+            candidates = [i for i in range(n) if arrival.time < fail_time[i]]
+            if not candidates:
+                stats.lost_no_node[arrival.tenant] = (
+                    stats.lost_no_node.get(arrival.tenant, 0) + 1
+                )
+                continue
+            chosen = policy.choose(
+                arrival, candidates, estimate_service_time(arrival.job)
+            )
+            delay = 0.0
+            if chosen != home_node(arrival.tenant, n):
+                # Handoff: the job's input crosses the interconnect...
+                nbytes = job_fill_bytes(arrival.job)
+                delay += interconnect.transfer_time(nbytes)
+                stats.handoffs += 1
+                stats.handoff_bytes += nbytes
+                # ...and the tenant's first landing on this foreign
+                # node drags its replicated resident state along.
+                if (arrival.tenant, chosen) not in replicated:
+                    replicated.add((arrival.tenant, chosen))
+                    rbytes = interconnect.replica_bytes(nbytes)
+                    delay += interconnect.transfer_time(rbytes)
+                    stats.replicas += 1
+                    stats.replica_bytes += rbytes
+            stats.placed[spec.nodes[chosen].name] += 1
+            if delay > 0:
+                stats.delays[arrival.job.job_id] = delay
+                arrival = dataclasses.replace(
+                    arrival, time=arrival.time + delay
+                )
+            per_node[chosen].append(arrival)
+
+        # Pass 2: independent node simulations, optionally sharded.
+        plans = self._node_plans(faults, tuple(node_faults))
+        tasks = [
+            _NodeTask(
+                index=i,
+                name=spec.nodes[i].name,
+                node=spec.nodes[i],
+                scheduler=self.scheduler,
+                max_backlog=self.max_backlog,
+                arrivals=tuple(per_node[i]),
+                tenants=tuple(tenants),
+                slo_s=slo_s,
+                faults=plans.get(i),
+                label=label,
+            )
+            for i in range(n)
+        ]
+        if shards is None or shards <= 1 or n == 1:
+            outcomes = [_run_node_task(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=min(shards, n)) as pool:
+                outcomes = list(pool.map(_run_node_task, tasks))
+
+        # Pass 3: deterministic merge, node order.
+        report = build_cluster_report(
+            spec,
+            scheduler=label or self.scheduler,
+            slo_s=slo_s,
+            tenants=list(tenants),
+            outcomes=outcomes,
+            stats=stats,
+        )
+        outcomes = sorted(outcomes, key=lambda o: o.index)
+        return ClusterResult(
+            spec=spec,
+            report=report,
+            node_reports={o.name: o.report for o in outcomes},
+            node_payloads={o.name: o.payload for o in outcomes},
+            stats=stats,
+        )

@@ -1,0 +1,174 @@
+"""Cluster topology: nodes, interconnect, node-level faults.
+
+The paper schedules one node's SRAM/DRAM/ReRAM hierarchy; the ROADMAP
+north star is a *fleet* of such nodes behind the serving layer.  A
+:class:`ClusterSpec` is the static description of that fleet:
+
+* each :class:`NodeSpec` owns a complete
+  :class:`~repro.core.scheduler.base.MLIMPSystem` -- its own device
+  set from the existing ``memories`` layer, scheduled by its own
+  per-node :class:`~repro.core.scheduler.base.DispatchPolicy`;
+* one :class:`InterconnectSpec` prices cross-node traffic: a job
+  handed off away from its home node pays ``latency + bytes/bandwidth``
+  before it can start filling, and the first job of a tenant landing
+  on a foreign node additionally pays a **replicated fill** (the
+  tenant's resident state is copied over, ``replica_factor`` times
+  the job's fill bytes), after Tesseract's explicit inter-node
+  communication cost (PAPERS.md);
+* a :class:`NodeFault` loses a whole node at a point in time.  It is
+  *compiled down* to the existing device-fault machinery --
+  :func:`node_fail_events` emits one permanent ``fail``
+  :class:`~repro.faults.plan.FaultEvent` per device of that node, so
+  a node loss composes with any device-level plan already running
+  there and exercises the same ``device_lost`` scheduler hooks.
+
+Specs are plain frozen data: picklable (they cross
+``ProcessPoolExecutor`` boundaries when a cluster run shards), and
+deterministic to construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.scheduler.base import MLIMPSystem
+from ..faults.plan import FaultEvent, FaultKind
+from ..memories import DEFAULT_SPECS
+
+__all__ = [
+    "InterconnectSpec",
+    "NodeSpec",
+    "NodeFault",
+    "ClusterSpec",
+    "node_fail_events",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Latency/bandwidth cost model for cross-node job handoff.
+
+    Defaults model a commodity datacenter fabric: ~2 us one-way
+    latency, 100 Gb/s per-link bandwidth.  ``replica_factor`` scales a
+    job's fill bytes into the size of its tenant's resident state for
+    the one-time replicated fill a tenant pays on first landing away
+    from home.
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_bytes_per_s: float = 12.5e9
+    replica_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.replica_factor < 0:
+            raise ValueError("replica_factor must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Wire time of one ``nbytes`` transfer between two nodes."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def replica_bytes(self, fill_bytes: float) -> float:
+        """Size of the replicated fill for a tenant whose jobs carry
+        ``fill_bytes`` of input."""
+        return self.replica_factor * fill_bytes
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One MLIMP node: a name and its own device set."""
+
+    name: str
+    system: MLIMPSystem
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Permanent loss of a whole node at ``time`` (seconds).
+
+    Compiled to per-device ``fail`` events by :func:`node_fail_events`,
+    so it rides the existing fault/degradation machinery.
+    """
+
+    node: str
+    time: float
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"node fault time must be non-negative, got {self.time}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The fleet: an ordered set of nodes plus the interconnect."""
+
+    nodes: tuple[NodeSpec, ...]
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"node names must be unique, got {names}")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def index_of(self, name: str) -> int:
+        for i, node in enumerate(self.nodes):
+            if node.name == name:
+                return i
+        raise KeyError(f"unknown node {name!r}; known: {self.names}")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_nodes: int,
+        system: MLIMPSystem | None = None,
+        interconnect: InterconnectSpec | None = None,
+    ) -> "ClusterSpec":
+        """``n_nodes`` identical nodes (``node-0`` .. ``node-N-1``),
+        each owning its own copy of ``system`` (default: the full
+        Table III device set)."""
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        system = system or MLIMPSystem(specs=dict(DEFAULT_SPECS))
+        return cls(
+            nodes=tuple(
+                NodeSpec(name=f"node-{i}", system=system) for i in range(n_nodes)
+            ),
+            interconnect=interconnect or InterconnectSpec(),
+        )
+
+
+def node_fail_events(node: NodeSpec, fault: NodeFault) -> tuple[FaultEvent, ...]:
+    """Compile a node loss into per-device permanent failures.
+
+    One ``fail`` event per memory device of the node, all at the
+    fault's time -- the per-node dispatcher then runs its ordinary
+    graceful-degradation path (``device_lost`` hooks, fallback
+    migration finds no survivors, in-flight jobs are reported failed)
+    and later arrivals are steered away by cluster placement.
+    """
+    reason = fault.reason or f"node {fault.node} failure"
+    return tuple(
+        FaultEvent(
+            kind=FaultKind.FAIL, device=kind, time=fault.time, reason=reason
+        )
+        for kind in node.system.kinds
+    )

@@ -772,9 +772,10 @@ def predictor_accuracy(dataset: str = "citation") -> Report:
 # ======================================================================
 def full_registry() -> dict:
     """Every runnable experiment: the figure/table registry plus the
-    ablations under ``ablation-<name>`` plus the open-system serving
-    comparisons (the CLI's namespace)."""
+    ablations under ``ablation-<name>`` plus the open-system serving,
+    predictor-lifecycle and cluster-scale runs (the CLI's namespace)."""
     from .ablations import ABLATIONS
+    from .cluster import CLUSTER_EXPERIMENTS
     from .predictor import LIFECYCLE_EXPERIMENTS
     from .serving import SERVING_EXPERIMENTS
 
@@ -782,6 +783,7 @@ def full_registry() -> dict:
     registry.update({f"ablation-{name}": fn for name, fn in ABLATIONS.items()})
     registry.update(SERVING_EXPERIMENTS)
     registry.update(LIFECYCLE_EXPERIMENTS)
+    registry.update(CLUSTER_EXPERIMENTS)
     return registry
 
 

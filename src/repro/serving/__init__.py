@@ -10,7 +10,12 @@ arrival events enter each scheduling policy.
     python -m repro serve --arrivals poisson --rate 50 --tenants 3 --slo 10
 """
 
-from .arrivals import ArrivalProcess, PoissonArrivals, TraceArrivals
+from .arrivals import (
+    ArrivalProcess,
+    PoissonArrivals,
+    TimelineArrivals,
+    TraceArrivals,
+)
 from .report import ServingReport, TenantReport, build_serving_report
 from .runtime import ServingResult, ServingRuntime
 from .tenants import OpenLoop, Tenant
@@ -19,6 +24,7 @@ from .workload import KERNEL_SHAPES, OpenWorkload
 __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
+    "TimelineArrivals",
     "TraceArrivals",
     "ServingReport",
     "TenantReport",

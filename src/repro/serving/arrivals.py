@@ -40,7 +40,12 @@ from typing import Callable
 from ..core.job import Job
 from ..sim.events import JobArrival
 
-__all__ = ["ArrivalProcess", "PoissonArrivals", "TraceArrivals"]
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "TimelineArrivals",
+]
 
 #: ``make_job(index, tenant, rng, hint)``: synthesises the job carried
 #: by one arrival.  ``hint`` is the trace entry's extra fields (empty
@@ -98,6 +103,24 @@ class PoissonArrivals(ArrivalProcess):
             arrivals.append(JobArrival(time=now, seq=seq, tenant=tenant, job=job))
             seq += 1
         return arrivals
+
+
+@dataclass(frozen=True)
+class TimelineArrivals(ArrivalProcess):
+    """A prebuilt arrival timeline: jobs already materialised.
+
+    The cluster layer (:mod:`repro.cluster`) generates one timeline
+    for the whole fleet, partitions it across nodes, and hands each
+    node its slice through this process -- ``generate`` returns the
+    stored arrivals verbatim (time-sorted, original sequence numbers
+    kept) and never calls the job factory, so a node replays exactly
+    the jobs placement assigned to it.
+    """
+
+    arrivals: tuple[JobArrival, ...]
+
+    def generate(self, make_job: JobFactory) -> list[JobArrival]:
+        return sorted(self.arrivals, key=lambda a: (a.time, a.seq))
 
 
 @dataclass(frozen=True)

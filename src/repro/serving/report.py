@@ -85,6 +85,11 @@ class ServingReport:
     tenants: dict[str, TenantReport] = field(default_factory=dict)
     #: Busy fraction of the makespan, per memory layer.
     utilisation: dict[str, float] = field(default_factory=dict)
+    #: Per-node utilisation/SLO sections of a cluster run
+    #: (:mod:`repro.cluster`); empty -- and absent from
+    #: :meth:`as_dict` -- for single-node serving runs, which keeps
+    #: those byte-identical to the pre-cluster schema.
+    nodes: dict[str, dict] = field(default_factory=dict)
 
     @property
     def offered(self) -> int:
@@ -112,7 +117,7 @@ class ServingReport:
         return met / total
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "scheduler": self.scheduler,
             "makespan": self.makespan,
             "slo_ms": self.slo_s * 1e3,
@@ -127,6 +132,11 @@ class ServingReport:
             },
             "utilisation": dict(sorted(self.utilisation.items())),
         }
+        if self.nodes:
+            out["nodes"] = {
+                name: dict(section) for name, section in sorted(self.nodes.items())
+            }
+        return out
 
     def __str__(self) -> str:
         lines = [
@@ -148,6 +158,23 @@ class ServingReport:
                 f"{dev}={frac:.1%}" for dev, frac in sorted(self.utilisation.items())
             )
             lines.append(f"utilisation  {util}")
+        if self.nodes:
+            lines.append(
+                f"{'node':<12} {'placed':>6} {'done':>5} {'shed':>5} "
+                f"{'makespan ms':>12} {'slo':>6}  utilisation"
+            )
+            for name, section in sorted(self.nodes.items()):
+                util = "  ".join(
+                    f"{dev}={frac:.1%}"
+                    for dev, frac in sorted(section.get("utilisation", {}).items())
+                )
+                lines.append(
+                    f"{name:<12} {section.get('placed', 0):>6} "
+                    f"{section.get('completed', 0):>5} "
+                    f"{section.get('shed', 0):>5} "
+                    f"{section.get('makespan', 0.0) * 1e3:>12.3f} "
+                    f"{section.get('slo_attainment', 0.0):>6.1%}  {util}"
+                )
         return "\n".join(lines)
 
 

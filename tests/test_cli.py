@@ -198,3 +198,56 @@ class TestServeCommand:
             == 0
         )
         assert "attainment" in capsys.readouterr().out
+
+
+class TestClusterCommand:
+    ARGS = [
+        "cluster", "--nodes", "2", "--rate", "2000", "--horizon", "0.01",
+        "--tenants", "2", "--slo", "10", "--seed", "5", "--system", "gnn",
+    ]
+
+    def test_cluster_smoke(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "node-0" in out and "node-1" in out
+        assert "placement[least-loaded]" in out
+        assert "attainment" in out
+
+    def test_cluster_is_deterministic_across_shards(self, capsys):
+        assert main(self.ARGS + ["--shards", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--shards", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cluster_writes_json_report(self, capsys, tmp_path):
+        out_path = tmp_path / "cluster.json"
+        assert main(self.ARGS + ["--json", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["n_nodes"] == 2
+        report = payload["report"]
+        for key in ("scheduler", "slo_ms", "tenants", "utilisation",
+                    "slo_attainment", "nodes"):
+            assert key in report
+        assert set(report["nodes"]) == {"node-0", "node-1"}
+        assert payload["cluster"]["placement"] == "least-loaded"
+        assert payload["completed_per_sec"] > 0
+
+    def test_cluster_placement_flag(self, capsys):
+        assert main(self.ARGS + ["--placement", "hash"]) == 0
+        out = capsys.readouterr().out
+        assert "placement[hash]" in out
+        assert "handoffs 0" in out
+
+    def test_cluster_node_fault(self, capsys):
+        assert main(self.ARGS + ["--fail-node", "node-1:0.005"]) == 0
+        assert "node-1" in capsys.readouterr().out
+
+    def test_cluster_rejects_bad_args(self, capsys):
+        assert main(["cluster", "--nodes", "0"]) == 2
+        assert "--nodes" in capsys.readouterr().err
+        assert main(["cluster", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(self.ARGS + ["--fail-node", "node-1"]) == 2
+        assert "NODE:SECONDS" in capsys.readouterr().err
+        assert main(self.ARGS + ["--fail-node", "node-9:0.1"]) == 2
+        assert "unknown node" in capsys.readouterr().err

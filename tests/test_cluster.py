@@ -1,0 +1,206 @@
+"""Cluster topology, interconnect pricing, and placement policies.
+
+Unit-level guarantees of ``repro.cluster``'s static half: specs
+validate and pickle-shaped data stays plain, the interconnect cost
+model is the arithmetic it claims, node faults compile onto the
+existing device-fault machinery, and every placement policy is
+deterministic in arrival order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.prophelpers import make_jobs
+from repro.cluster import (
+    PLACEMENTS,
+    ClusterRuntime,
+    ClusterSpec,
+    HashPlacement,
+    InterconnectSpec,
+    LeastLoadedPlacement,
+    NodeFault,
+    NodeSpec,
+    RoundRobinPlacement,
+    home_node,
+    node_fail_events,
+)
+from repro.cluster.placement import estimate_service_time, job_fill_bytes
+from repro.faults.plan import FaultKind
+from repro.harness.config import full_system
+from repro.sim.events import JobArrival
+
+
+def _arrival(seq: int, tenant: str = "a", time: float = 0.0) -> JobArrival:
+    job = make_jobs(seed=seq, count=1)[0]
+    return JobArrival(time=time, seq=seq, tenant=tenant, job=job)
+
+
+# ======================================================================
+# Specs
+# ======================================================================
+class TestClusterSpec:
+    def test_homogeneous_names_and_len(self):
+        spec = ClusterSpec.homogeneous(4)
+        assert len(spec) == 4
+        assert spec.names == ["node-0", "node-1", "node-2", "node-3"]
+        assert spec.index_of("node-2") == 2
+
+    def test_every_node_owns_a_full_system(self):
+        spec = ClusterSpec.homogeneous(2)
+        for node in spec.nodes:
+            assert node.system.kinds
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ClusterSpec(nodes=())
+        with pytest.raises(ValueError, match="at least one node"):
+            ClusterSpec.homogeneous(0)
+
+    def test_rejects_duplicate_node_names(self):
+        system = full_system()
+        with pytest.raises(ValueError, match="unique"):
+            ClusterSpec(
+                nodes=(
+                    NodeSpec("n", system),
+                    NodeSpec("n", system),
+                )
+            )
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError, match="nope"):
+            ClusterSpec.homogeneous(2).index_of("nope")
+
+
+class TestInterconnect:
+    def test_transfer_time_is_latency_plus_wire(self):
+        ic = InterconnectSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert ic.transfer_time(0) == pytest.approx(1e-6)
+        assert ic.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_replica_bytes_scales_fill(self):
+        ic = InterconnectSpec(replica_factor=3.0)
+        assert ic.replica_bytes(1000.0) == pytest.approx(3000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            InterconnectSpec(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            InterconnectSpec(replica_factor=-0.5)
+        with pytest.raises(ValueError):
+            InterconnectSpec().transfer_time(-1.0)
+
+
+class TestNodeFault:
+    def test_compiles_to_one_fail_per_device(self):
+        spec = ClusterSpec.homogeneous(2)
+        fault = NodeFault(node="node-1", time=0.5, reason="power loss")
+        events = node_fail_events(spec.nodes[1], fault)
+        assert len(events) == len(spec.nodes[1].system.kinds)
+        assert {e.device for e in events} == set(spec.nodes[1].system.kinds)
+        for event in events:
+            assert event.kind is FaultKind.FAIL
+            assert event.time == 0.5
+            assert event.reason == "power loss"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFault(node="node-0", time=-1.0)
+
+
+# ======================================================================
+# Placement
+# ======================================================================
+class TestHomeNode:
+    def test_stable_and_in_range(self):
+        for tenant in ("interactive", "batch", "besteffort", "x"):
+            home = home_node(tenant, 4)
+            assert 0 <= home < 4
+            assert home == home_node(tenant, 4)
+
+    def test_salt_changes_mapping_eventually(self):
+        homes = {home_node("tenant", 8, salt=s) for s in range(16)}
+        assert len(homes) > 1
+
+    def test_single_node_is_always_home(self):
+        for tenant in ("a", "b", "c", "interactive"):
+            assert home_node(tenant, 1) == 0
+
+
+class TestLeastLoaded:
+    def test_ties_break_to_lowest_index(self):
+        policy = LeastLoadedPlacement()
+        policy.reset(3)
+        assert policy.choose(_arrival(0), [0, 1, 2], 1.0) == 0
+
+    def test_deposits_steer_away(self):
+        policy = LeastLoadedPlacement()
+        policy.reset(2)
+        assert policy.choose(_arrival(0), [0, 1], 1.0) == 0
+        assert policy.choose(_arrival(1), [0, 1], 1.0) == 1
+
+    def test_backlog_drains_with_time(self):
+        policy = LeastLoadedPlacement()
+        policy.reset(2)
+        policy.choose(_arrival(0, time=0.0), [0, 1], 0.5)
+        policy.choose(_arrival(1, time=0.0), [0, 1], 0.5)
+        # Both backlogs drained to zero by t=1: tie goes to node 0.
+        assert policy.choose(_arrival(2, time=1.0), [0, 1], 0.5) == 0
+
+
+class TestHashPlacement:
+    def test_tenant_sticks_to_home(self):
+        policy = HashPlacement()
+        policy.reset(4)
+        chosen = {
+            policy.choose(_arrival(i, tenant="t"), [0, 1, 2, 3], 1.0)
+            for i in range(8)
+        }
+        assert chosen == {home_node("t", 4)}
+
+    def test_dead_home_rehashes_deterministically(self):
+        policy = HashPlacement()
+        policy.reset(4)
+        home = home_node("t", 4)
+        alive = [i for i in range(4) if i != home]
+        first = policy.choose(_arrival(0, tenant="t"), alive, 1.0)
+        assert first != home
+        assert policy.choose(_arrival(1, tenant="t"), alive, 1.0) == first
+
+
+class TestRoundRobin:
+    def test_cycles_live_nodes(self):
+        policy = RoundRobinPlacement()
+        policy.reset(3)
+        picks = [policy.choose(_arrival(i), [0, 1, 2], 1.0) for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+
+class TestEstimates:
+    def test_service_estimate_is_best_profile_time(self):
+        job = make_jobs(seed=3, count=1)[0]
+        expected = min(
+            p.total_time(p.unit_arrays) for p in job.profiles.values()
+        )
+        assert estimate_service_time(job) == pytest.approx(expected)
+
+    def test_fill_bytes_is_largest_profile_fill(self):
+        job = make_jobs(seed=3, count=1)[0]
+        expected = max(p.fill_bytes for p in job.profiles.values())
+        assert job_fill_bytes(job) == pytest.approx(expected)
+
+
+class TestRegistry:
+    def test_placement_names(self):
+        assert set(PLACEMENTS) == {"least-loaded", "hash", "round-robin"}
+        for name, cls in PLACEMENTS.items():
+            assert cls.name == name
+
+    def test_runtime_rejects_unknown_names(self):
+        spec = ClusterSpec.homogeneous(1)
+        with pytest.raises(ValueError, match="scheduler"):
+            ClusterRuntime(spec, scheduler="nope")
+        with pytest.raises(ValueError, match="placement"):
+            ClusterRuntime(spec, placement="nope")

@@ -63,7 +63,7 @@ class TestCLIDocs:
         readme = (REPO_ROOT / "README.md").read_text()
         subcommands = self._subcommands()
         assert subcommands >= {"list", "specs", "run", "trace", "bench",
-                               "serve"}
+                               "serve", "cluster"}
         table = readme.split("## Command line")[1].split("##")[0]
         for name in subcommands:
             assert f"`{name}`" in table, f"README table misses '{name}'"
@@ -75,6 +75,16 @@ class TestCLIDocs:
         readme = (REPO_ROOT / "README.md").read_text()
         serve_section = readme.split("## Serving")[1].split("\n## ")[0]
         for flag in set(re.findall(r"(--[a-z-]+)", serve_section)):
+            assert f'"{flag}"' in source, f"README shows unknown {flag}"
+
+    def test_readme_cluster_flags_exist(self):
+        """Flags the README shows for `cluster` must exist in argparse."""
+        source = (REPO_ROOT / "src" / "repro" / "__main__.py").read_text()
+        readme = (REPO_ROOT / "README.md").read_text()
+        cluster_section = readme.split("## Cluster")[1].split("\n## ")[0]
+        flags = set(re.findall(r"(--[a-z-]+)", cluster_section))
+        assert flags, "README Cluster section shows no flags"
+        for flag in flags:
             assert f'"{flag}"' in source, f"README shows unknown {flag}"
 
 

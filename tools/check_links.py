@@ -35,6 +35,7 @@ DOC_FILES = (
     "DESIGN.md",
     "EXPERIMENTS.md",
     "docs/ARCHITECTURE.md",
+    "docs/CLUSTER.md",
     "docs/SCHEDULERS.md",
 )
 
