@@ -497,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.add_argument(
         "--scheduler",
-        choices=["ljf", "adaptive", "global"],
+        choices=["ljf", "adaptive", "global", "ewt"],
         default="adaptive",
         help="scheduler for the --faults demo (default: adaptive)",
     )
@@ -526,7 +526,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     trace.add_argument(
         "--scheduler",
-        choices=["ljf", "adaptive", "global"],
+        choices=["ljf", "adaptive", "global", "ewt"],
         default="global",
         help="scheduler to trace (default: global)",
     )
@@ -600,7 +600,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--scheduler",
-        choices=["ljf", "adaptive", "global"],
+        choices=["ljf", "adaptive", "global", "ewt"],
         default="adaptive",
         help="scheduling policy (default: adaptive)",
     )
@@ -668,7 +668,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     cluster.add_argument(
         "--scheduler",
-        choices=["ljf", "adaptive", "global"],
+        choices=["ljf", "adaptive", "global", "ewt"],
         default="adaptive",
         help="per-node scheduling policy (default: adaptive)",
     )

@@ -10,7 +10,7 @@ devices.  :class:`MLIMPRuntime` packages that flow behind a small API:
     runtime.submit_many(batch_jobs(...))
     result = runtime.run()          # schedule + simulate the queue
 
-Swap the scheduler (``"ljf" | "adaptive" | "global"``) or inject a
+Swap the scheduler (``"ljf" | "adaptive" | "global" | "ewt"``) or inject a
 trained :class:`~repro.core.predictor.MLPPredictor` without touching
 the call sites.
 """
@@ -26,6 +26,7 @@ from .job import Job
 from .predictor import OraclePredictor, PerformancePredictor
 from .scheduler import (
     AdaptiveScheduler,
+    EWTScheduler,
     GlobalScheduler,
     LJFScheduler,
     MLIMPSystem,
@@ -39,6 +40,7 @@ _SCHEDULERS = {
     "ljf": LJFScheduler,
     "adaptive": AdaptiveScheduler,
     "global": GlobalScheduler,
+    "ewt": EWTScheduler,
 }
 
 

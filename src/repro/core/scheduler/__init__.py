@@ -1,8 +1,11 @@
-"""MLIMP job schedulers: LJF baseline, adaptive, global, oracle bound."""
+"""MLIMP job schedulers: LJF baseline, adaptive, global, EWT, the
+exact branch-and-bound reference, and the fluid oracle bound."""
 
 from .adaptive import AdaptivePolicy, AdaptiveScheduler
 from .adjustments import PlannedJob, inter_queue_adjust, intra_queue_adjust, plan_job
 from .base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView, Scheduler
+from .ewt import EWTPolicy, EWTScheduler
+from .exact import ExactScheduler, ExactSolution, ExactSolverError, solve_exact
 from .globalsched import GlobalPolicy, GlobalScheduler
 from .johnson import JohnsonScheduler, flow_shop_makespan, johnson_order
 from .ljf import LJFPolicy, LJFScheduler
@@ -21,6 +24,12 @@ __all__ = [
     "MLIMPSystem",
     "ResourceView",
     "Scheduler",
+    "EWTPolicy",
+    "EWTScheduler",
+    "ExactScheduler",
+    "ExactSolution",
+    "ExactSolverError",
+    "solve_exact",
     "GlobalPolicy",
     "GlobalScheduler",
     "JohnsonScheduler",

@@ -134,6 +134,8 @@ class AdaptivePolicy(DispatchPolicy):
         Returns the jobs that fit no surviving memory (the serving
         layer counts them as shed).
         """
+        if not jobs:
+            return []  # admit contract: an empty batch is a pure no-op
         if self._planner is None:
             return list(jobs)
         unplaced: list[Job] = []

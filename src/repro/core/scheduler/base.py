@@ -128,6 +128,14 @@ class DispatchPolicy(abc.ABC):
         devices lost to faults.  Rejected jobs are counted as shed by
         the serving layer, never silently dropped.
 
+        Contract, uniform across every policy (pinned by
+        ``tests/test_core_scheduler.py``): an **empty** ``jobs`` list
+        is a pure no-op -- ``[]`` comes back and no internal state
+        (queue order, plans, schedules) changes, so callers may probe
+        ``admit([], now)`` freely.  ``now`` values need not arrive in
+        monotone order: each call is interpreted against the given
+        timestamp only, never against the history of earlier calls.
+
         The default is not arrival-aware: everything is rejected.
         """
         return list(jobs)

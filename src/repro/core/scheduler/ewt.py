@@ -1,0 +1,242 @@
+"""Expected-wait-time priority scheduling (the EWT rule family).
+
+The serving experiments showed the closed-batch ordering inverting
+under open arrivals (EXPERIMENTS.md): plans laid down at admission go
+stale while a job queues, and none of the existing policies feed the
+accumulated wait back into the dispatch order.  EWT does.  Following
+the priority-rule-based scheduler shape of accasim (PRB: score each
+queued job, dispatch in score order, skip what does not fit), every
+queued job carries its *admission time*; at each dispatch opportunity
+jobs are ranked by
+
+    score = (now - arrived) + est_time / derate(kind)
+
+-- the expected wait this job will have suffered by the time it
+completes if launched right now -- and dispatched greedily in
+descending score with fit-skip: a job whose allocation does not fit
+is skipped, not blocked on, so small jobs flow around a large head
+while the large job's growing wait raises its score until it wins.
+On a closed batch (all ``arrived == 0``) the rule degenerates to
+longest-estimate-first, keeping EWT comparable with the other three
+policies in the differential suites.
+
+Placement picks the queue minimising the derate-scaled drain estimate
+plus the job's own scaled runtime -- the same fluid drain metric
+Algorithm 1 balances -- so EWT composes with the standard hooks:
+``admit`` scores fresh arrivals, ``device_lost`` re-places orphans
+*keeping their original admission times* (a migrated job keeps its
+accumulated wait), and ``device_derated`` only rescales scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...memories.base import MemoryKind
+from ..job import Job
+from ..predictor import PerformancePredictor
+from .adjustments import PlannedJob, job_fits, plan_job, queue_drain_estimate
+from .base import Dispatch, DispatchPolicy, MLIMPSystem, ResourceView, Scheduler
+
+__all__ = ["EWTScheduler", "EWTPolicy"]
+
+
+@dataclass(frozen=True)
+class _Waiting:
+    """One queued job: its sized plan plus when it entered the system."""
+
+    entry: PlannedJob
+    arrived: float
+
+
+class EWTPolicy(DispatchPolicy):
+    """Fit-skip greedy dispatch in descending expected-wait order."""
+
+    def __init__(
+        self,
+        queues: dict[MemoryKind, list[_Waiting]],
+        plans: dict[str, dict[MemoryKind, PlannedJob]] | None = None,
+        system: MLIMPSystem | None = None,
+        planner: Callable[[Job], dict[MemoryKind, PlannedJob]] | None = None,
+    ) -> None:
+        self._queues: dict[MemoryKind, list[_Waiting]] = {
+            kind: list(entries) for kind, entries in queues.items()
+        }
+        self._plans = plans
+        self._system = system
+        self._planner = planner
+        self._derate: dict[MemoryKind, float] = {}
+
+    # ------------------------------------------------------------------
+    def _scaled_time(self, entry: PlannedJob, kind: MemoryKind) -> float:
+        return entry.est_time / self._derate.get(kind, 1.0)
+
+    def _score(self, waiting: _Waiting, kind: MemoryKind, now: float) -> float:
+        return (now - waiting.arrived) + self._scaled_time(waiting.entry, kind)
+
+    def _place(self, options: dict[MemoryKind, PlannedJob], arrived: float) -> None:
+        """Queue a job where (drain + own runtime) is smallest, both
+        derate-scaled; ties break on the kind name for determinism."""
+
+        def drain(kind: MemoryKind) -> float:
+            if self._system is None:
+                return 0.0  # standalone policy: score on runtime alone
+            return queue_drain_estimate(
+                [w.entry for w in self._queues[kind]], kind, self._system
+            )
+
+        kind, entry = min(
+            options.items(),
+            key=lambda kv: (
+                drain(kv[0]) / self._derate.get(kv[0], 1.0)
+                + self._scaled_time(kv[1], kv[0]),
+                kv[0].value,
+            ),
+        )
+        self._queues[kind].append(_Waiting(entry=entry, arrived=arrived))
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return sum(len(entries) for entries in self._queues.values())
+
+    def queue_depths(self) -> dict[str, int]:
+        return {kind.value: len(entries) for kind, entries in self._queues.items()}
+
+    def next_dispatches(self, view: ResourceView) -> list[Dispatch]:
+        dispatches: list[Dispatch] = []
+        free_slots = dict(view.free_slots)
+        free_run = dict(view.largest_free_run)
+        for kind, queue in self._queues.items():
+            ranked = sorted(
+                queue,
+                key=lambda w: (-self._score(w, kind, view.now), w.entry.job.job_id),
+            )
+            taken: list[_Waiting] = []
+            for waiting in ranked:
+                entry = waiting.entry
+                if free_slots.get(kind, 0) <= 0:
+                    break
+                if free_run.get(kind, 0) < entry.arrays:
+                    continue  # fit-skip: let smaller jobs flow around it
+                dispatches.append(
+                    Dispatch(
+                        job=entry.job,
+                        kind=kind,
+                        arrays=entry.arrays,
+                        predicted_time=self._scaled_time(entry, kind),
+                    )
+                )
+                free_slots[kind] -= 1
+                free_run[kind] -= entry.arrays
+                taken.append(waiting)
+            if taken:
+                self._queues[kind] = [w for w in queue if w not in taken]
+        return dispatches
+
+    # -- online admission (repro.serving) ------------------------------
+    def admit(self, jobs: list[Job], now: float) -> list[Job]:
+        """Score-and-place each arrival (admission time = ``now``).
+
+        An empty ``jobs`` list is a pure no-op (the admit contract);
+        jobs fitting no surviving memory come back as shed.
+        """
+        if not jobs:
+            return []
+        if self._planner is None:
+            return list(jobs)
+        unplaced: list[Job] = []
+        for job in jobs:
+            options = {
+                kind: entry
+                for kind, entry in self._planner(job).items()
+                if kind in self._queues
+            }
+            if not options:
+                unplaced.append(job)
+                continue
+            if self._plans is not None:
+                self._plans[job.job_id] = options
+            self._place(options, arrived=now)
+        return unplaced
+
+    # -- graceful degradation (repro.faults) ---------------------------
+    def device_lost(
+        self, kind: MemoryKind, jobs: list[Job], now: float
+    ) -> list[Job]:
+        """Migrate the lost queue and the in-flight victims.
+
+        Queued orphans keep their original admission time -- their
+        accumulated wait moves with them -- while interrupted victims
+        re-enter at ``now`` (their wait clock restarts with the retry).
+        """
+        if self._plans is None or kind not in self._queues:
+            return list(jobs)
+        orphans = self._queues.pop(kind)
+        unplaced: list[Job] = []
+        arrivals = [(w.entry.job, w.arrived) for w in orphans] + [
+            (job, now) for job in jobs
+        ]
+        for job, arrived in arrivals:
+            options = {
+                k: e
+                for k, e in self._plans.get(job.job_id, {}).items()
+                if k in self._queues
+            }
+            if not options:
+                unplaced.append(job)
+            else:
+                self._place(options, arrived=arrived)
+        return unplaced
+
+    def device_derated(self, kind: MemoryKind, factor: float, now: float) -> None:
+        # Scores and placement read the derate lazily; nothing to
+        # migrate eagerly (a derated device drains slower, so new
+        # placements steer away from it on their own).
+        self._derate[kind] = factor
+
+
+@dataclass
+class EWTScheduler(Scheduler):
+    """Expected-wait-time priority rule over knee-sized plans."""
+
+    predictor: PerformancePredictor
+    allocation_cap_fraction: float = 0.5
+    sizing: str = "knee"
+    name: str = "ewt"
+
+    def plan_options(
+        self, job: Job, system: MLIMPSystem
+    ) -> dict[MemoryKind, PlannedJob]:
+        """Knee-size one job on every memory it fits (shared shape
+        with the adaptive scheduler; also the serving-layer planner)."""
+        return {
+            kind: plan_job(
+                job,
+                kind,
+                self.predictor,
+                system,
+                self.allocation_cap_fraction,
+                sizing=self.sizing,
+            )
+            for kind in system.kinds
+            if job_fits(job, kind, system)
+        }
+
+    def plan(self, jobs: list[Job], system: MLIMPSystem) -> EWTPolicy:
+        policy = EWTPolicy(
+            queues={kind: [] for kind in system.kinds},
+            plans={},
+            system=system,
+            planner=lambda job: self.plan_options(job, system),
+        )
+        # Closed batch: everything "arrived" at time zero, so the EWT
+        # score is pure estimated time and placement is incremental
+        # drain-balancing in input order (deterministic).
+        for job in jobs:
+            options = self.plan_options(job, system)
+            if not options:
+                raise ValueError(f"job {job.job_id} fits no memory in the system")
+            policy._plans[job.job_id] = options
+            policy._place(options, arrived=0.0)
+        return policy

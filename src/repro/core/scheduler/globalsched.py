@@ -313,6 +313,8 @@ class GlobalPolicy(DispatchPolicy):
         (in-flight jobs keep running; launches still wait for their
         planned resources to actually free up).
         """
+        if not jobs:
+            return []  # admit contract: an empty batch is a pure no-op
         if self._planner is None or self._plans is None or self._system is None:
             return list(jobs)
         placeable: list[Job] = []

@@ -96,6 +96,8 @@ class LJFPolicy(DispatchPolicy):
         is re-sorted longest-first over the *waiting* jobs only, and
         head-of-line blocking still applies at dispatch time.
         """
+        if not jobs:
+            return []  # admit contract: an empty batch is a pure no-op
         if self._planner is None:
             return list(jobs)
         unplaced: list[Job] = []

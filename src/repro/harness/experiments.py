@@ -776,6 +776,7 @@ def full_registry() -> dict:
     predictor-lifecycle and cluster-scale runs (the CLI's namespace)."""
     from .ablations import ABLATIONS
     from .cluster import CLUSTER_EXPERIMENTS
+    from .optgap import OPTGAP_EXPERIMENTS
     from .predictor import LIFECYCLE_EXPERIMENTS
     from .serving import SERVING_EXPERIMENTS
 
@@ -784,6 +785,7 @@ def full_registry() -> dict:
     registry.update(SERVING_EXPERIMENTS)
     registry.update(LIFECYCLE_EXPERIMENTS)
     registry.update(CLUSTER_EXPERIMENTS)
+    registry.update(OPTGAP_EXPERIMENTS)
     return registry
 
 

@@ -13,6 +13,7 @@ import random
 from repro.core import (
     AdaptiveScheduler,
     Dispatcher,
+    EWTScheduler,
     GlobalScheduler,
     Job,
     JobPerfProfile,
@@ -22,12 +23,13 @@ from repro.core import (
 from repro.faults import FaultPlan
 from repro.harness.config import full_system
 
-SCHEDULERS = ("ljf", "adaptive", "global")
+SCHEDULERS = ("ljf", "adaptive", "global", "ewt")
 
 _CLASSES = {
     "ljf": LJFScheduler,
     "adaptive": AdaptiveScheduler,
     "global": GlobalScheduler,
+    "ewt": EWTScheduler,
 }
 
 

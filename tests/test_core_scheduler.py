@@ -1,10 +1,11 @@
-"""Schedulers: LJF baseline, adaptive, global, adjustments, oracle."""
+"""Schedulers: LJF baseline, adaptive, global, EWT, adjustments, oracle."""
 
 import pytest
 
 from repro.core import (
     AdaptiveScheduler,
     Dispatcher,
+    EWTScheduler,
     GlobalScheduler,
     Job,
     JobPerfProfile,
@@ -202,7 +203,8 @@ class TestIntraQueue:
 
 class TestSchedulersEndToEnd:
     @pytest.mark.parametrize(
-        "scheduler_cls", [LJFScheduler, AdaptiveScheduler, GlobalScheduler]
+        "scheduler_cls",
+        [LJFScheduler, AdaptiveScheduler, GlobalScheduler, EWTScheduler],
     )
     def test_all_jobs_complete(self, system, scheduler_cls):
         jobs = mixed_batch()
@@ -258,6 +260,73 @@ class TestSchedulersEndToEnd:
             AdaptiveScheduler(OraclePredictor()).plan([job], system)
         with pytest.raises(ValueError):
             LJFScheduler(OraclePredictor()).plan([job], system)
+        with pytest.raises(ValueError):
+            EWTScheduler(OraclePredictor()).plan([job], system)
+
+
+ALL_SCHEDULERS = [LJFScheduler, AdaptiveScheduler, GlobalScheduler, EWTScheduler]
+
+
+class TestAdmitContract:
+    """The ``admit(jobs, now)`` contract, uniform across every policy
+    (documented on ``DispatchPolicy.admit``): an empty batch is a pure
+    no-op, and ``now`` values need not arrive monotonically.
+
+    Surfaced while wiring EWT: LJF used to re-sort its queue and the
+    global scheduler walked its re-plan path even for empty batches,
+    so "probe admit" and "no admit" could diverge per policy.
+    """
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_empty_admit_returns_empty(self, system, scheduler_cls):
+        policy = scheduler_cls(OraclePredictor()).plan(mixed_batch(8), system)
+        assert policy.admit([], 1.0) == []
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_empty_admit_is_behaviourally_inert(self, system, scheduler_cls):
+        """A policy probed with empty admits (including out-of-order
+        timestamps) must produce the byte-identical execution of an
+        unprobed twin."""
+        jobs = mixed_batch(12)
+        scheduler = scheduler_cls(OraclePredictor())
+        plain = scheduler.plan(list(jobs), system)
+        probed = scheduler.plan(list(jobs), system)
+        for now in (5e-4, 0.0, 2e-3, 1e-6):  # deliberately non-monotone
+            assert probed.admit([], now) == []
+        assert probed.queue_depths() == plain.queue_depths()
+        assert probed.pending() == plain.pending()
+        result_plain = Dispatcher(system).run(plain)
+        result_probed = Dispatcher(system).run(probed)
+        key = lambda result: [
+            (r.job_id, r.device, r.phase.value, r.start, r.end, r.arrays)
+            for r in result.trace.records
+        ]
+        assert key(result_probed) == key(result_plain)
+        assert result_probed.makespan == result_plain.makespan
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_out_of_order_now_still_places(self, system, scheduler_cls):
+        """Each admit call is interpreted against its own timestamp;
+        a ``now`` earlier than a previous call's must not break
+        placement or accounting."""
+        policy = scheduler_cls(OraclePredictor()).plan(mixed_batch(4), system)
+        before = policy.pending()
+        late = [make_job("late", 1e-4, 2e-4)]
+        early = [make_job("early", 2e-4, 1e-4)]
+        assert policy.admit(late, 1.0) == []
+        assert policy.admit(early, 0.25) == []  # earlier than the last call
+        assert policy.pending() == before + 2
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_unplaceable_arrival_is_returned_not_dropped(
+        self, system, scheduler_cls
+    ):
+        policy = scheduler_cls(OraclePredictor()).plan(mixed_batch(4), system)
+        giant = make_job("giant", 1e-4, 1e-4, unit=1000)
+        before = policy.pending()
+        rejected = policy.admit([giant], 0.5)
+        assert rejected == [giant]
+        assert policy.pending() == before
 
 
 class TestOracle:
