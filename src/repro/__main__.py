@@ -15,6 +15,9 @@ Usage::
     python -m repro serve --predictor online   # self-training serve run
     python -m repro cluster --nodes 4 --rate 200 --placement hash
     python -m repro cluster --nodes 2 --fail-node node-1:0.5 --json out.json
+    python -m repro serve --admission predictive --slo 0.1 --rate 2e6
+    python -m repro replay --windows 6 --admission predictive --autoscale
+    python -m repro replay --halt-after 3 --checkpoint ck.json
 """
 
 from __future__ import annotations
@@ -359,24 +362,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         slo_s=args.slo * 1e-3,
         faults=faults,
         label=f"{args.scheduler}/serve",
+        admission=args.admission,
+        admission_margin=args.admission_margin,
     )
+    # The report itself carries the admission line and the predictor
+    # lifecycle counters now -- in both the text and the JSON forms.
     print(serving.report)
-    lifecycle = getattr(predictor, "counters", None)
-    if lifecycle:
-        print("predictor lifecycle:")
-        for name in sorted(lifecycle):
-            print(f"  {name:32s} {lifecycle[name]}")
     if args.json:
         from pathlib import Path
 
-        payload = serving.report.as_dict()
-        if lifecycle:
-            payload["predictor"] = {
-                name: lifecycle[name] for name in sorted(lifecycle)
-            }
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        path.write_text(
+            json.dumps(serving.report.as_dict(), indent=2, sort_keys=True)
+        )
         print(f"wrote {args.json}")
     return 0
 
@@ -455,6 +454,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         node_faults=tuple(node_faults),
         shards=args.shards,
         label=f"{args.scheduler}/cluster",
+        admission=args.admission,
+        admission_margin=args.admission_margin,
     )
     print(result.report)
     stats = result.stats
@@ -470,6 +471,92 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Trace-replay horizon run: windows, autoscaling, checkpointing."""
+    import json
+
+    from .harness.replay import ReplayConfig, resume_replay, run_replay
+
+    if args.halt_after is not None:
+        if args.halt_after < 1:
+            print("--halt-after must be at least 1", file=sys.stderr)
+            return 2
+        if not args.checkpoint:
+            print("--halt-after needs --checkpoint PATH", file=sys.stderr)
+            return 2
+    try:
+        if args.resume:
+            payload = resume_replay(
+                args.resume,
+                checkpoint_path=args.checkpoint,
+                halt_after=args.halt_after,
+            )
+        else:
+            config = ReplayConfig(
+                seed=args.seed,
+                rate=args.rate,
+                windows=args.windows,
+                window_s=args.window_ms * 1e-3,
+                tenants=args.tenants,
+                slo_s=args.slo * 1e-3,
+                scheduler=args.scheduler,
+                system=args.system,
+                queue_limit=args.queue_limit,
+                max_backlog=args.max_backlog,
+                admission=args.admission,
+                admission_margin=args.admission_margin,
+                autoscale=args.autoscale,
+                max_scale=args.max_scale,
+                nodes=args.nodes,
+                placement=args.placement,
+            )
+            payload = run_replay(
+                config,
+                checkpoint_path=args.checkpoint,
+                halt_after=args.halt_after,
+            )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if payload is None:
+        print(f"halted after {args.halt_after} window(s); "
+              f"checkpoint -> {args.checkpoint}")
+        print(f"resume with: python -m repro replay --resume {args.checkpoint}")
+        return 0
+    print(
+        f"{'win':>3s} {'scale':>5s} {'offered':>8s} {'done':>8s} "
+        f"{'shed':>6s} {'pred':>6s} {'attain':>7s} {'util':>5s} {'queue':>6s}"
+    )
+    for row in payload["windows"]:
+        print(
+            f"{row['window']:3d} {row['scale']:5d} {row['offered']:8d} "
+            f"{row['completed']:8d} {row['shed']:6d} "
+            f"{row['shed_predicted']:6d} {row['slo_attainment']:6.1%} "
+            f"{row['utilisation_max']:5.2f} {row['queue_depth_mean']:6.1f}"
+        )
+    for event in payload["autoscale_events"]:
+        print(
+            f"scale event: window {event['window']} "
+            f"{event['from_scale']} -> {event['to_scale']} ({event['reason']})"
+        )
+    totals = payload["totals"]
+    print(
+        f"totals: offered {totals['offered']}  completed "
+        f"{totals['completed']}  shed {totals['shed']} "
+        f"(predicted {totals['shed_predicted']})  "
+        f"attainment {totals['slo_attainment']:.1%}  "
+        f"peak scale {totals['peak_scale']}"
+    )
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.json}")
     return 0
 
@@ -637,6 +724,19 @@ def main(argv: list[str] | None = None) -> int:
         "OnlinePredictor fed by completion actuals, or the path of a "
         "saved predictor artifact from 'predictor train'",
     )
+    serve.add_argument(
+        "--admission",
+        choices=["shed", "predictive"],
+        default="shed",
+        help="arrival-time admission: 'shed' (default) keeps the "
+        "queue-overflow-only baseline; 'predictive' rejects jobs whose "
+        "predicted sojourn would miss the tenant's SLO",
+    )
+    serve.add_argument(
+        "--admission-margin", type=float, default=1.0, metavar="FACTOR",
+        help="admit while predicted sojourn <= SLO x FACTOR; >1 admits "
+        "optimistically, <1 leaves headroom (default: 1.0)",
+    )
     cluster = sub.add_parser(
         "cluster",
         help="cluster serving run: two-level scheduling over N nodes, "
@@ -709,8 +809,121 @@ def main(argv: list[str] | None = None) -> int:
         "e.g. --fail-node node-1:0.5",
     )
     cluster.add_argument(
+        "--admission",
+        choices=["shed", "predictive"],
+        default="shed",
+        help="per-node arrival-time admission: 'shed' (default) or "
+        "'predictive' (each node gates on its own predicted sojourn)",
+    )
+    cluster.add_argument(
+        "--admission-margin", type=float, default=1.0, metavar="FACTOR",
+        help="admit while predicted sojourn <= SLO x FACTOR (default: 1.0)",
+    )
+    cluster.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the merged cluster report as JSON",
+    )
+    replay = sub.add_parser(
+        "replay",
+        help="trace-replay horizon benchmark: windows of seeded "
+        "arrivals, between-window autoscaling, exact checkpoint/resume",
+    )
+    replay.add_argument(
+        "--windows", type=int, default=6, metavar="N",
+        help="replay windows to simulate (default: 6)",
+    )
+    replay.add_argument(
+        "--window-ms", type=float, default=2.0, metavar="MS",
+        help="arrival horizon of each window in milliseconds; every "
+        "window drains to completion (default: 2.0)",
+    )
+    replay.add_argument(
+        "--rate", type=float, default=2e6, metavar="JOBS_PER_S",
+        help="aggregate Poisson arrival rate (default: 2e6 -- "
+        "overloads the scale-1 gnn pool)",
+    )
+    replay.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="tenant count (default: 3)",
+    )
+    replay.add_argument(
+        "--slo", type=float, default=0.1, metavar="MS",
+        help="per-tenant sojourn SLO in milliseconds (default: 0.1)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=20,
+        help="base seed; window w replays with a seed derived from "
+        "(seed, w), so any window is reproducible in isolation",
+    )
+    replay.add_argument(
+        "--scheduler",
+        choices=["ljf", "adaptive", "global", "ewt"],
+        default="adaptive",
+        help="per-window scheduling policy (default: adaptive)",
+    )
+    replay.add_argument(
+        "--system",
+        choices=["full", "gnn"],
+        default="gnn",
+        help="scale-1 device set (default: gnn)",
+    )
+    replay.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="per-tenant bounded-queue depth (default: 32)",
+    )
+    replay.add_argument(
+        "--max-backlog", type=int, default=16, metavar="N",
+        help="released-but-undispatched jobs the policy may hold "
+        "(default: 16)",
+    )
+    replay.add_argument(
+        "--admission",
+        choices=["shed", "predictive"],
+        default="shed",
+        help="arrival-time admission for every window (default: shed)",
+    )
+    replay.add_argument(
+        "--admission-margin", type=float, default=1.0, metavar="FACTOR",
+        help="admit while predicted sojourn <= SLO x FACTOR (default: 1.0)",
+    )
+    replay.add_argument(
+        "--autoscale", action="store_true",
+        help="resize the pool between windows from the finished "
+        "window's utilisation / queue-depth / shed signals",
+    )
+    replay.add_argument(
+        "--max-scale", type=int, default=4, metavar="N",
+        help="autoscaler ceiling as a multiple of the base pool "
+        "(default: 4)",
+    )
+    replay.add_argument(
+        "--nodes", type=int, default=0, metavar="N",
+        help="replay over an N-node cluster instead of one node; the "
+        "autoscaled system is stamped onto every node (default: 0)",
+    )
+    replay.add_argument(
+        "--placement",
+        choices=["least-loaded", "hash", "round-robin"],
+        default="least-loaded",
+        help="cluster placement for --nodes > 0 (default: least-loaded)",
+    )
+    replay.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="where --halt-after writes the mid-replay state",
+    )
+    replay.add_argument(
+        "--halt-after", type=int, default=None, metavar="N",
+        help="stop after N windows and write --checkpoint; resuming "
+        "reproduces the uninterrupted output byte for byte",
+    )
+    replay.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="continue from a checkpoint file (ignores the trace "
+        "flags; the checkpoint carries the full config)",
+    )
+    replay.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the replay payload as JSON",
     )
     predictor = sub.add_parser(
         "predictor",
@@ -763,6 +976,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_serve(args)
     if args.command == "cluster":
         return cmd_cluster(args)
+    if args.command == "replay":
+        return cmd_replay(args)
     if args.command == "predictor":
         if args.action in {"eval", "export"} and not args.model:
             print(f"predictor {args.action} needs --model PATH", file=sys.stderr)

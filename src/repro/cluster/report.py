@@ -103,8 +103,13 @@ def build_cluster_report(
     tenants: list[Tenant],
     outcomes: list[NodeOutcome],
     stats: ClusterStats,
+    admission: str = "",
 ) -> ServingReport:
-    """Merge node outcomes into the cluster-level serving report."""
+    """Merge node outcomes into the cluster-level serving report.
+
+    ``admission`` names the per-node admission controller when the
+    run used one ("" for the shed-only baseline, which keeps the
+    merged schema byte-identical to the historical output)."""
     outcomes = sorted(outcomes, key=lambda o: o.index)
 
     # Union of per-job sojourns, shifted to original-arrival time base.
@@ -116,16 +121,18 @@ def build_cluster_report(
     tenant_reports: dict[str, TenantReport] = {}
     for tenant in tenants:
         name = tenant.name
-        offered = admitted = queue_full = unplaced = 0
+        offered = admitted = queue_full = unplaced = predicted = 0
         for outcome in outcomes:
             node_stats = outcome.tenant_stats.get(name, {})
             offered += node_stats.get("offered", 0)
             admitted += node_stats.get("admitted", 0)
             queue_full += node_stats.get("shed_queue_full", 0)
             unplaced += node_stats.get("shed_unplaced", 0)
+            predicted += node_stats.get("shed_predicted", 0)
         lost = stats.lost_no_node.get(name, 0)
         values = sorted(sojourns[name])
-        met = sum(1 for v in values if v <= slo_s)
+        effective_slo = tenant.slo_s if tenant.slo_s is not None else slo_s
+        met = sum(1 for v in values if v <= effective_slo)
         tenant_reports[name] = TenantReport(
             tenant=name,
             offered=offered + lost,
@@ -133,6 +140,8 @@ def build_cluster_report(
             completed=len(values),
             shed_queue_full=queue_full,
             shed_unplaced=unplaced + lost,
+            shed_predicted=predicted,
+            slo_s=tenant.slo_s,
             sojourn_mean_s=sum(values) / len(values) if values else 0.0,
             sojourn_p50_s=nearest_rank(values, 0.50) if values else 0.0,
             sojourn_p95_s=nearest_rank(values, 0.95) if values else 0.0,
@@ -180,4 +189,5 @@ def build_cluster_report(
         tenants=tenant_reports,
         utilisation=utilisation,
         nodes=nodes,
+        admission=admission,
     )

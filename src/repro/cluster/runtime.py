@@ -79,6 +79,11 @@ class _NodeTask:
     slo_s: float
     faults: FaultPlan | None
     label: str
+    #: Admission mode string ("shed"/"predictive") -- a string, not a
+    #: controller, so the task stays picklable; each node builds its
+    #: own controller over its local system and predictor.
+    admission: str = "shed"
+    admission_margin: float = 1.0
 
 
 def _run_node_task(task: _NodeTask) -> NodeOutcome:
@@ -98,6 +103,8 @@ def _run_node_task(task: _NodeTask) -> NodeOutcome:
         slo_s=task.slo_s,
         label=task.label,
         faults=task.faults,
+        admission=task.admission,
+        admission_margin=task.admission_margin,
     )
     sojourns: dict[str, tuple[str, float]] = {}
     for job_id, record in serving.result.records.items():
@@ -228,6 +235,8 @@ class ClusterRuntime:
         workload: OpenWorkload | None = None,
         shards: int | None = None,
         label: str = "",
+        admission: str = "shed",
+        admission_margin: float = 1.0,
     ) -> ClusterResult:
         """Place the arrival stream, simulate every node, merge.
 
@@ -236,6 +245,13 @@ class ClusterRuntime:
         whole nodes and compose with both.  ``shards`` > 1 runs the
         node simulations in that many worker processes (capped at the
         node count); the merged output is byte-identical either way.
+
+        ``admission`` is the per-node passthrough of the serving
+        layer's predictive gate: each node builds its own controller
+        over its local system, so admission decisions ride on the
+        node's view of outstanding work (placement stays above and
+        unchanged).  The default ``"shed"`` keeps every node on the
+        historical code path.
         """
         spec = self.cluster
         n = len(spec)
@@ -304,6 +320,8 @@ class ClusterRuntime:
                 slo_s=slo_s,
                 faults=plans.get(i),
                 label=label,
+                admission=admission,
+                admission_margin=admission_margin,
             )
             for i in range(n)
         ]
@@ -321,6 +339,7 @@ class ClusterRuntime:
             tenants=list(tenants),
             outcomes=outcomes,
             stats=stats,
+            admission="" if admission in ("", "shed") else admission,
         )
         outcomes = sorted(outcomes, key=lambda o: o.index)
         return ClusterResult(

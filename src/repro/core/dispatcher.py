@@ -352,6 +352,10 @@ class Dispatcher:
             failed_jobs[job_id] = reason
             metrics.counter("jobs.failed").inc()
             runtime_counter_inc("jobs.failed")
+            if open_loop is not None:
+                # A failed job leaves the system too: return its
+                # predicted-work reservation to the admission ledger.
+                open_loop.on_finished(job_id)
 
         def requeue_elsewhere(flight: _Flight, reason: str) -> None:
             """Fallback migration: park the job on the surviving device
@@ -642,6 +646,8 @@ class Dispatcher:
                 policy.notify_completion(job, kind, sim.now)
                 if predictor_hook is not None:
                     predictor_hook(job, kind, sim.now, metrics)
+                if open_loop is not None:
+                    open_loop.on_finished(job.job_id)
                 if injector is not None:
                     # Freed capacity goes to migrated/retried jobs first.
                     drain_parked(kind)
@@ -850,6 +856,8 @@ class Dispatcher:
                 policy.notify_completion(job, kind, sim.now)
                 if predictor_hook is not None:
                     predictor_hook(job, kind, sim.now, metrics)
+                if open_loop is not None:
+                    open_loop.on_finished(job.job_id)
                 if injector is not None:
                     # Freed capacity goes to migrated/retried jobs first.
                     drain_parked(kind)

@@ -778,6 +778,7 @@ def full_registry() -> dict:
     from .cluster import CLUSTER_EXPERIMENTS
     from .optgap import OPTGAP_EXPERIMENTS
     from .predictor import LIFECYCLE_EXPERIMENTS
+    from .replay import REPLAY_EXPERIMENTS
     from .serving import SERVING_EXPERIMENTS
 
     registry = dict(EXPERIMENTS)
@@ -786,6 +787,7 @@ def full_registry() -> dict:
     registry.update(LIFECYCLE_EXPERIMENTS)
     registry.update(CLUSTER_EXPERIMENTS)
     registry.update(OPTGAP_EXPERIMENTS)
+    registry.update(REPLAY_EXPERIMENTS)
     return registry
 
 

@@ -1,0 +1,407 @@
+"""Trace-replay horizon benchmark: serving policies at fleet timescales.
+
+A single serve run lasts a few thousand job services -- long enough
+to rank schedulers, far too short to judge *policies* that act on
+feedback (predictive admission, pool autoscaling).  The Tesseract
+retrospective's point (PAPERS.md) is that PIM systems are judged at
+fleet horizons; this harness gets there by replaying **windows** of
+seeded arrivals back to back:
+
+* every window is one ordinary serving (or cluster) run on a fixed
+  pool -- seeded Poisson arrivals, run to drain, byte-stable;
+* between windows the :class:`~repro.serving.autoscale.Autoscaler`
+  reads the finished window's utilisation / queue-depth / shed-rate
+  signals and resizes the pool for the next one;
+* window seeds derive deterministically from ``(config.seed, window
+  index)``, so any window simulates identically no matter when -- or
+  in which process -- it runs.
+
+That last property makes **checkpoint/resume exact**: the only state
+crossing a window boundary is the autoscaler's integer scale, its
+event log, and the finished windows' summary rows -- all plain JSON.
+A replay halted at any window and resumed from its checkpoint file
+produces byte-identical final output to the uninterrupted run (CI's
+``replay-smoke`` job ``cmp``-gates this).
+
+The ``replay-horizon`` experiment runs the same overloaded trace
+through the shed-only baseline and the predictive/autoscaling stack
+and reports the SLO-attainment delta::
+
+    python -m repro run replay-horizon
+    python -m repro replay --windows 6 --rate 2e6 --slo 0.1 --admission predictive
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..cluster.runtime import ClusterRuntime
+from ..cluster.spec import ClusterSpec
+from ..serving import (
+    AutoscalePolicy,
+    Autoscaler,
+    PoissonArrivals,
+    ServingRuntime,
+    Tenant,
+    scale_system,
+)
+from .config import full_system, gnn_system
+from .reporting import Report
+
+__all__ = [
+    "ReplayConfig",
+    "run_replay",
+    "resume_replay",
+    "load_checkpoint",
+    "replay_horizon",
+    "REPLAY_EXPERIMENTS",
+]
+
+CHECKPOINT_FORMAT = "mlimp-replay-checkpoint"
+PAYLOAD_FORMAT = "mlimp-replay"
+REPLAY_STATE_VERSION = 1
+
+#: Window-seed stride: seeds of consecutive windows stay far apart so
+#: neighbouring windows never share an arrival stream.
+_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """One replay's complete, JSON-round-trippable description."""
+
+    seed: int = 0
+    rate: float = 2e6
+    windows: int = 6
+    window_s: float = 0.002
+    tenants: int = 3
+    slo_s: float = 100e-6
+    scheduler: str = "adaptive"
+    system: str = "gnn"
+    queue_limit: int = 32
+    max_backlog: int = 16
+    admission: str = "shed"
+    admission_margin: float = 1.0
+    autoscale: bool = False
+    max_scale: int = 4
+    #: 0 = single-node serving; N > 0 = an N-node cluster replay (the
+    #: autoscaled system is stamped onto every node).
+    nodes: int = 0
+    placement: str = "least-loaded"
+
+    def __post_init__(self) -> None:
+        if self.windows < 1:
+            raise ValueError("windows must be >= 1")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        if self.nodes < 0:
+            raise ValueError("nodes must be >= 0 (0 = single node)")
+        if self.system not in ("gnn", "full"):
+            raise ValueError(f"unknown system {self.system!r}")
+
+    @property
+    def horizon_s(self) -> float:
+        return self.windows * self.window_s
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReplayConfig":
+        return cls(**payload)
+
+    def autoscale_policy(self) -> AutoscalePolicy:
+        return AutoscalePolicy(max_scale=self.max_scale)
+
+
+# ----------------------------------------------------------------------
+def _window_seed(config: ReplayConfig, window: int) -> int:
+    return config.seed + _SEED_STRIDE * window
+
+def _tenants(config: ReplayConfig) -> list[Tenant]:
+    """The serve CLI's deliberate weight asymmetry, replay-wide."""
+    return [
+        Tenant(
+            f"tenant-{i}",
+            weight=float(config.tenants - i),
+            queue_limit=config.queue_limit,
+        )
+        for i in range(config.tenants)
+    ]
+
+
+def _run_window(config: ReplayConfig, window: int, scale: int) -> dict:
+    """Simulate one window at one pool scale; return its summary row."""
+    base = gnn_system() if config.system == "gnn" else full_system()
+    system = scale_system(base, scale)
+    tenants = _tenants(config)
+    arrivals = PoissonArrivals(
+        rate=config.rate,
+        horizon=config.window_s,
+        seed=_window_seed(config, window),
+        tenants=tuple(t.name for t in tenants),
+    )
+    label = f"{config.scheduler}/replay-w{window}"
+    if config.nodes > 0:
+        runtime = ClusterRuntime(
+            ClusterSpec.homogeneous(config.nodes, system=system),
+            scheduler=config.scheduler,
+            placement=config.placement,
+            max_backlog=config.max_backlog,
+        )
+        result = runtime.serve(
+            arrivals,
+            tenants=tenants,
+            slo_s=config.slo_s,
+            label=label,
+            admission=config.admission,
+            admission_margin=config.admission_margin,
+        )
+        report = result.report
+        # Per-node metrics stay inside the shards; the cluster signal
+        # set is utilisation + shed rate (queue depth reads 0).
+        queue_depth = 0.0
+    else:
+        runtime = ServingRuntime(
+            system,
+            scheduler=config.scheduler,
+            max_backlog=config.max_backlog,
+        )
+        serving = runtime.serve(
+            arrivals,
+            tenants=tenants,
+            slo_s=config.slo_s,
+            label=label,
+            admission=config.admission,
+            admission_margin=config.admission_margin,
+        )
+        report = serving.report
+        makespan = serving.result.makespan
+        queue_depth = (
+            serving.result.metrics.gauge("jobs.pending").time_weighted_mean(
+                makespan
+            )
+            if makespan > 0
+            else 0.0
+        )
+    return {
+        "window": window,
+        "start_s": window * config.window_s,
+        "scale": scale,
+        "offered": report.offered,
+        "completed": report.completed,
+        "shed": report.shed,
+        "shed_predicted": report.shed_predicted,
+        "shed_rate": report.shed_rate,
+        "slo_attainment": report.slo_attainment,
+        "makespan_s": report.makespan,
+        "utilisation_max": max(report.utilisation.values(), default=0.0),
+        "queue_depth_mean": queue_depth,
+    }
+
+
+def _totals(rows: list[dict]) -> dict:
+    completed = sum(r["completed"] for r in rows)
+    offered = sum(r["offered"] for r in rows)
+    met = sum(r["slo_attainment"] * r["completed"] for r in rows)
+    return {
+        "windows": len(rows),
+        "offered": offered,
+        "completed": completed,
+        "shed": sum(r["shed"] for r in rows),
+        "shed_predicted": sum(r["shed_predicted"] for r in rows),
+        "slo_attainment": met / completed if completed else 1.0,
+        "peak_scale": max((r["scale"] for r in rows), default=1),
+    }
+
+
+def _payload(
+    config: ReplayConfig, rows: list[dict], autoscaler: Autoscaler
+) -> dict:
+    return {
+        "format": PAYLOAD_FORMAT,
+        "version": REPLAY_STATE_VERSION,
+        "config": config.as_dict(),
+        "windows": rows,
+        "autoscale_events": [e.as_dict() for e in autoscaler.events],
+        "final_scale": autoscaler.scale,
+        "totals": _totals(rows),
+    }
+
+
+def _write_checkpoint(
+    path, config: ReplayConfig, next_window: int,
+    rows: list[dict], autoscaler: Autoscaler,
+) -> Path:
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": REPLAY_STATE_VERSION,
+        "config": config.as_dict(),
+        "next_window": next_window,
+        "autoscale": autoscaler.state_dict(),
+        "windows": rows,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_checkpoint(path) -> dict:
+    """Read and validate a replay checkpoint file."""
+    state = json.loads(Path(path).read_text())
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not a replay checkpoint")
+    if state.get("version") != REPLAY_STATE_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(this build reads version {REPLAY_STATE_VERSION})"
+        )
+    return state
+
+
+# ----------------------------------------------------------------------
+def run_replay(
+    config: ReplayConfig,
+    checkpoint_path=None,
+    halt_after: int | None = None,
+    _start_window: int = 0,
+    _autoscaler: Autoscaler | None = None,
+    _rows: list[dict] | None = None,
+) -> dict | None:
+    """Replay the configured windows; return the final payload.
+
+    ``halt_after=N`` stops once N windows have completed, writes the
+    mid-replay state to ``checkpoint_path`` and returns ``None`` --
+    :func:`resume_replay` then continues from exactly that point.
+    The resumed run's payload is byte-identical to an uninterrupted
+    one: window seeds depend only on the window index, and all
+    cross-window state lives in the checkpoint.
+    """
+    if halt_after is not None and checkpoint_path is None:
+        raise ValueError("halt_after needs a checkpoint_path to write")
+    autoscaler = _autoscaler or Autoscaler(policy=config.autoscale_policy())
+    rows = list(_rows or [])
+    for window in range(_start_window, config.windows):
+        if halt_after is not None and window >= halt_after:
+            _write_checkpoint(
+                checkpoint_path, config, window, rows, autoscaler
+            )
+            return None
+        row = _run_window(config, window, autoscaler.scale)
+        rows.append(row)
+        if config.autoscale:
+            autoscaler.observe(
+                window,
+                utilisation=row["utilisation_max"],
+                queue_depth=row["queue_depth_mean"],
+                shed_rate=row["shed_rate"],
+            )
+    return _payload(config, rows, autoscaler)
+
+
+def resume_replay(
+    path, checkpoint_path=None, halt_after: int | None = None
+) -> dict | None:
+    """Continue a replay from a checkpoint written by ``halt_after``."""
+    state = load_checkpoint(path)
+    config = ReplayConfig.from_dict(state["config"])
+    autoscaler = Autoscaler.from_state(
+        config.autoscale_policy(), state["autoscale"]
+    )
+    return run_replay(
+        config,
+        checkpoint_path=checkpoint_path,
+        halt_after=halt_after,
+        _start_window=int(state["next_window"]),
+        _autoscaler=autoscaler,
+        _rows=list(state["windows"]),
+    )
+
+
+# ----------------------------------------------------------------------
+#: The overloaded seeded trace both experiment arms replay: ~2x the
+#: drain rate of the scale-1 gnn pool, judged against a 100 us SLO.
+_HORIZON_CONFIG = ReplayConfig(
+    seed=20,
+    rate=2e6,
+    windows=6,
+    window_s=0.002,
+    tenants=3,
+    slo_s=100e-6,
+    scheduler="adaptive",
+    system="gnn",
+    queue_limit=32,
+    max_backlog=16,
+)
+
+
+def replay_horizon() -> Report:
+    """Trace replay: predictive admission + autoscale vs shed-only."""
+    arms = [
+        ("shed-only", _HORIZON_CONFIG),
+        (
+            "predictive",
+            dataclasses.replace(_HORIZON_CONFIG, admission="predictive"),
+        ),
+        (
+            "predictive+autoscale",
+            dataclasses.replace(
+                _HORIZON_CONFIG, admission="predictive", autoscale=True
+            ),
+        ),
+    ]
+    report = Report(
+        title="Trace replay -- predictive serving vs shed-only baseline",
+        columns=[
+            "arm",
+            "offered",
+            "completed",
+            "shed",
+            "predicted",
+            "slo attainment",
+            "peak scale",
+            "scale events",
+        ],
+    )
+    attainment: dict[str, float] = {}
+    for name, config in arms:
+        payload = run_replay(config)
+        totals = payload["totals"]
+        attainment[name] = totals["slo_attainment"]
+        report.add_row(
+            name,
+            totals["offered"],
+            totals["completed"],
+            totals["shed"],
+            totals["shed_predicted"],
+            f"{totals['slo_attainment']:.1%}",
+            totals["peak_scale"],
+            len(payload["autoscale_events"]),
+        )
+    cfg = _HORIZON_CONFIG
+    report.note(
+        f"{cfg.windows} windows x {cfg.window_s * 1e3:g} ms at "
+        f"{cfg.rate:g} jobs/s (seed {cfg.seed}), slo {cfg.slo_s * 1e6:g} us, "
+        f"{cfg.scheduler} scheduler on the scaled gnn system"
+    )
+    report.note(
+        "attainment delta vs baseline: predictive "
+        f"{attainment['predictive'] - attainment['shed-only']:+.1%}, "
+        "predictive+autoscale "
+        f"{attainment['predictive+autoscale'] - attainment['shed-only']:+.1%}"
+    )
+    return report
+
+
+#: Registry fragment merged by ``repro.harness.experiments.full_registry``.
+REPLAY_EXPERIMENTS = {
+    "replay-horizon": replay_horizon,
+}

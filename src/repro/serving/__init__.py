@@ -10,22 +10,30 @@ arrival events enter each scheduling policy.
     python -m repro serve --arrivals poisson --rate 50 --tenants 3 --slo 10
 """
 
+from .admission import AdmissionController, PredictiveAdmission
 from .arrivals import (
     ArrivalProcess,
     PoissonArrivals,
     TimelineArrivals,
     TraceArrivals,
 )
+from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent, scale_system
 from .report import ServingReport, TenantReport, build_serving_report
 from .runtime import ServingResult, ServingRuntime
 from .tenants import OpenLoop, Tenant
 from .workload import KERNEL_SHAPES, OpenWorkload
 
 __all__ = [
+    "AdmissionController",
+    "PredictiveAdmission",
     "ArrivalProcess",
     "PoissonArrivals",
     "TimelineArrivals",
     "TraceArrivals",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ScaleEvent",
+    "scale_system",
     "ServingReport",
     "TenantReport",
     "build_serving_report",

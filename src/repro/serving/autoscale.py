@@ -1,0 +1,201 @@
+"""Feedback-driven pool autoscaling for long-horizon serving.
+
+One MLIMP node's device pool is fixed for the life of a dispatch run
+-- the simulator owns the allocators.  At *fleet* horizons the pool
+is a knob: production schedulers grow and shrink capacity from the
+same queue-depth and utilisation signals our runs already export
+(``repro.obs`` gauges, the serving report's busy fractions and shed
+rate).  This module is that control loop, run **between replay
+windows** (the k8s-HPA cadence: observe a period, then resize), never
+mid-simulation -- every individual window stays a deterministic,
+byte-stable run on a fixed pool.
+
+* :class:`AutoscalePolicy` is the threshold rule: scale **up** when
+  the observed window shed load, saturated a device, or kept a deep
+  release backlog; scale **down** when the pool was near-idle and
+  nothing was shed.
+* :class:`Autoscaler` applies the rule, holding the current integer
+  ``scale`` and an auditable :class:`ScaleEvent` log; its state is
+  two plain JSON values, so a replay checkpoint captures it exactly.
+* :func:`scale_system` materialises a scale: every device's array
+  count and job slots multiply by the factor
+  (:func:`dataclasses.replace` on the frozen Table III specs), the
+  same move ``harness.config.scaled_specs`` uses in the other
+  direction.  Scale 1 returns the system untouched.
+
+In cluster replays the scaled system is stamped onto **every node**
+(the per-node autoscale passthrough): the cluster grows capacity in
+place while placement keeps steering across the same node set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.scheduler.base import MLIMPSystem
+
+__all__ = ["AutoscalePolicy", "ScaleEvent", "Autoscaler", "scale_system"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Threshold rule for the between-window scaling decision."""
+
+    min_scale: int = 1
+    max_scale: int = 4
+    #: Scale up when any device's busy fraction exceeds this...
+    up_utilisation: float = 0.70
+    #: ...or the window shed more than this fraction of offered load...
+    up_shed_rate: float = 0.0
+    #: ...or the policy's release backlog averaged deeper than this.
+    up_queue_depth: float = 8.0
+    #: Scale down when the busiest device stayed under this fraction
+    #: (and nothing was shed, and the backlog stayed shallow).
+    down_utilisation: float = 0.25
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_scale < 1:
+            raise ValueError("min_scale must be >= 1")
+        if self.max_scale < self.min_scale:
+            raise ValueError("max_scale must be >= min_scale")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+        if not 0.0 <= self.down_utilisation < self.up_utilisation:
+            raise ValueError(
+                "need 0 <= down_utilisation < up_utilisation, got "
+                f"{self.down_utilisation} / {self.up_utilisation}"
+            )
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One audited pool resize between two replay windows."""
+
+    window: int
+    from_scale: int
+    to_scale: int
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "from_scale": self.from_scale,
+            "to_scale": self.to_scale,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Autoscaler:
+    """The control loop: observe a window's signals, hold the scale."""
+
+    policy: AutoscalePolicy = field(default_factory=AutoscalePolicy)
+    scale: int = 0  # 0 -> start at policy.min_scale
+    events: list[ScaleEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.scale == 0:
+            self.scale = self.policy.min_scale
+        if not self.policy.min_scale <= self.scale <= self.policy.max_scale:
+            raise ValueError(
+                f"scale {self.scale} outside "
+                f"[{self.policy.min_scale}, {self.policy.max_scale}]"
+            )
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        window: int,
+        utilisation: float,
+        queue_depth: float,
+        shed_rate: float,
+    ) -> int:
+        """Feed one finished window's signals; returns the scale the
+        *next* window should run at.
+
+        ``utilisation`` is the window's busiest device fraction,
+        ``queue_depth`` the time-weighted mean of the policy's release
+        backlog (the ``jobs.pending`` gauge), ``shed_rate`` the
+        window's shed fraction of offered load.
+        """
+        p = self.policy
+        target = self.scale
+        reason = ""
+        if self.scale < p.max_scale and (
+            shed_rate > p.up_shed_rate
+            or utilisation > p.up_utilisation
+            or queue_depth > p.up_queue_depth
+        ):
+            target = min(p.max_scale, self.scale + p.step)
+            if shed_rate > p.up_shed_rate:
+                reason = f"shed_rate {shed_rate:.3f} > {p.up_shed_rate:g}"
+            elif utilisation > p.up_utilisation:
+                reason = f"utilisation {utilisation:.3f} > {p.up_utilisation:g}"
+            else:
+                reason = f"queue_depth {queue_depth:.2f} > {p.up_queue_depth:g}"
+        elif (
+            self.scale > p.min_scale
+            and shed_rate == 0.0
+            and utilisation < p.down_utilisation
+            and queue_depth <= p.up_queue_depth
+        ):
+            target = max(p.min_scale, self.scale - p.step)
+            reason = f"utilisation {utilisation:.3f} < {p.down_utilisation:g}"
+        if target != self.scale:
+            self.events.append(
+                ScaleEvent(
+                    window=window,
+                    from_scale=self.scale,
+                    to_scale=target,
+                    reason=reason,
+                )
+            )
+            self.scale = target
+        return self.scale
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: plain JSON, no floats beyond reasons."""
+        return {
+            "scale": self.scale,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_state(cls, policy: AutoscalePolicy, state: dict) -> "Autoscaler":
+        """Rebuild mid-replay state saved by :meth:`state_dict`."""
+        return cls(
+            policy=policy,
+            scale=int(state["scale"]),
+            events=[
+                ScaleEvent(
+                    window=int(e["window"]),
+                    from_scale=int(e["from_scale"]),
+                    to_scale=int(e["to_scale"]),
+                    reason=str(e["reason"]),
+                )
+                for e in state.get("events", [])
+            ],
+        )
+
+
+def scale_system(system: MLIMPSystem, scale: int) -> MLIMPSystem:
+    """``scale`` copies of every device: array counts and job slots
+    multiply, clocks/geometry/bandwidths stay at spec.  Scale 1 is the
+    identity (the same object, so an unscaled replay window runs on a
+    byte-identical system)."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    if scale == 1:
+        return system
+    return MLIMPSystem(
+        specs={
+            kind: replace(
+                spec,
+                num_arrays=spec.num_arrays * scale,
+                max_outstanding_jobs=spec.max_outstanding_jobs * scale,
+            )
+            for kind, spec in system.specs.items()
+        }
+    )

@@ -33,7 +33,15 @@ __all__ = ["TenantReport", "ServingReport", "build_serving_report"]
 
 @dataclass(frozen=True)
 class TenantReport:
-    """One tenant's view of the run."""
+    """One tenant's view of the run.
+
+    ``shed_predicted`` counts predictive-admission rejections (zero
+    whenever no controller ran); ``slo_s`` carries the tenant's own
+    SLO override when one was set (``None`` means the run-level SLO
+    judged this tenant).  Both are new, feature-gated fields: their
+    report keys are only emitted when the feature was active, keeping
+    the historical schema byte-identical.
+    """
 
     tenant: str
     offered: int
@@ -46,17 +54,19 @@ class TenantReport:
     sojourn_p95_s: float
     sojourn_p99_s: float
     slo_attainment: float
+    shed_predicted: int = 0
+    slo_s: float | None = None
 
     @property
     def shed(self) -> int:
-        return self.shed_queue_full + self.shed_unplaced
+        return self.shed_queue_full + self.shed_unplaced + self.shed_predicted
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.offered if self.offered else 0.0
 
-    def as_dict(self) -> dict:
-        return {
+    def as_dict(self, include_admission: bool = False) -> dict:
+        out = {
             "tenant": self.tenant,
             "offered": self.offered,
             "admitted": self.admitted,
@@ -73,6 +83,11 @@ class TenantReport:
             },
             "slo_attainment": self.slo_attainment,
         }
+        if include_admission:
+            out["shed_predicted"] = self.shed_predicted
+        if self.slo_s is not None:
+            out["slo_ms"] = self.slo_s * 1e3
+        return out
 
 
 @dataclass
@@ -90,6 +105,14 @@ class ServingReport:
     #: :meth:`as_dict` -- for single-node serving runs, which keeps
     #: those byte-identical to the pre-cluster schema.
     nodes: dict[str, dict] = field(default_factory=dict)
+    #: Name of the admission controller that gated arrivals ("" when
+    #: the run used plain shed-only backpressure; the admission keys
+    #: are then absent from :meth:`as_dict`, preserving the schema).
+    admission: str = ""
+    #: Predictor lifecycle counters (:attr:`OnlinePredictor.counters`);
+    #: empty -- and absent from the dict/text output -- for predictors
+    #: without a lifecycle.
+    predictor: dict[str, int] = field(default_factory=dict)
 
     @property
     def offered(self) -> int:
@@ -106,6 +129,10 @@ class ServingReport:
     @property
     def shed_rate(self) -> float:
         return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def shed_predicted(self) -> int:
+        return sum(t.shed_predicted for t in self.tenants.values())
 
     @property
     def slo_attainment(self) -> float:
@@ -127,11 +154,18 @@ class ServingReport:
             "shed_rate": self.shed_rate,
             "slo_attainment": self.slo_attainment,
             "tenants": {
-                name: report.as_dict()
+                name: report.as_dict(include_admission=bool(self.admission))
                 for name, report in sorted(self.tenants.items())
             },
             "utilisation": dict(sorted(self.utilisation.items())),
         }
+        if self.admission:
+            out["admission"] = self.admission
+            out["shed_predicted"] = self.shed_predicted
+        if self.predictor:
+            out["predictor"] = {
+                name: self.predictor[name] for name in sorted(self.predictor)
+            }
         if self.nodes:
             out["nodes"] = {
                 name: dict(section) for name, section in sorted(self.nodes.items())
@@ -158,6 +192,15 @@ class ServingReport:
                 f"{dev}={frac:.1%}" for dev, frac in sorted(self.utilisation.items())
             )
             lines.append(f"utilisation  {util}")
+        if self.admission:
+            lines.append(
+                f"admission[{self.admission}]  shed_predicted "
+                f"{self.shed_predicted}"
+            )
+        if self.predictor:
+            lines.append("predictor lifecycle:")
+            for name in sorted(self.predictor):
+                lines.append(f"  {name:32s} {self.predictor[name]}")
         if self.nodes:
             lines.append(
                 f"{'node':<12} {'placed':>6} {'done':>5} {'shed':>5} "
@@ -179,13 +222,21 @@ class ServingReport:
 
 
 def build_serving_report(
-    result: DispatchResult, open_loop: OpenLoop, slo_s: float
+    result: DispatchResult,
+    open_loop: OpenLoop,
+    slo_s: float,
+    predictor=None,
+    admission=None,
 ) -> ServingReport:
     """Join dispatch records with arrival bookkeeping.
 
     Sojourn of a completed job is ``finished_at - arrival_time``; jobs
     injected by the *closed* part of a mixed run (no arrival record)
-    do not contribute to tenant sojourns.
+    do not contribute to tenant sojourns.  A tenant with its own
+    ``slo_s`` is judged against that instead of the run-level SLO.
+    ``predictor`` (when it carries lifecycle ``counters``) and
+    ``admission`` (the run's controller, if any) land in the report's
+    feature-gated sections.
     """
     if slo_s <= 0:
         raise ValueError(f"slo must be positive, got {slo_s}")
@@ -197,10 +248,12 @@ def build_serving_report(
         tenant = open_loop.job_tenants[job_id]
         sojourns[tenant].append(record.finished_at - arrived)
 
+    tenant_slo = {t.name: t.slo_s for t in open_loop.tenants}
     tenants: dict[str, TenantReport] = {}
     for name, stats in open_loop.tenant_stats().items():
         values = sorted(sojourns.get(name, []))
-        met = sum(1 for v in values if v <= slo_s)
+        effective_slo = tenant_slo.get(name) or slo_s
+        met = sum(1 for v in values if v <= effective_slo)
         tenants[name] = TenantReport(
             tenant=name,
             offered=stats["offered"],
@@ -208,6 +261,8 @@ def build_serving_report(
             completed=len(values),
             shed_queue_full=stats["shed_queue_full"],
             shed_unplaced=stats["shed_unplaced"],
+            shed_predicted=stats["shed_predicted"],
+            slo_s=tenant_slo.get(name),
             sojourn_mean_s=sum(values) / len(values) if values else 0.0,
             sojourn_p50_s=nearest_rank(values, 0.50) if values else 0.0,
             sojourn_p95_s=nearest_rank(values, 0.95) if values else 0.0,
@@ -217,10 +272,13 @@ def build_serving_report(
 
     devices = build_report(result).devices
     utilisation = {name: report.utilisation for name, report in devices.items()}
+    counters = getattr(predictor, "counters", None)
     return ServingReport(
         scheduler=result.scheduler_name,
         makespan=result.makespan,
         slo_s=slo_s,
         tenants=tenants,
         utilisation=utilisation,
+        admission=admission.name if admission is not None else "",
+        predictor=dict(counters) if counters else {},
     )

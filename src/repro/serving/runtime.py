@@ -42,6 +42,7 @@ from ..core.runtime import _SCHEDULERS
 from ..core.scheduler.base import MLIMPSystem, Scheduler
 from ..faults.plan import FaultPlan
 from ..sim.mainmem import DDR4Config
+from .admission import AdmissionController, PredictiveAdmission
 from .arrivals import ArrivalProcess
 from .report import ServingReport, build_serving_report
 from .tenants import OpenLoop, Tenant
@@ -96,6 +97,8 @@ class ServingRuntime:
         label: str = "",
         faults: FaultPlan | None = None,
         workload: OpenWorkload | None = None,
+        admission: str | AdmissionController | None = None,
+        admission_margin: float = 1.0,
     ) -> ServingResult:
         """Run the arrival stream to drain and report per-tenant SLOs.
 
@@ -103,12 +106,24 @@ class ServingRuntime:
         queued at time zero (the closed-vs-open comparison's mixed
         mode); with an empty arrival stream and ``initial_jobs`` the
         run is byte-identical to ``MLIMPRuntime.run`` on that batch.
+
+        ``admission`` selects the arrival-time gate: ``None`` or
+        ``"shed"`` keep the historical shed-only backpressure (the
+        exact pre-admission code path), ``"predictive"`` builds a
+        :class:`~repro.serving.admission.PredictiveAdmission` around
+        the runtime's predictor (oracle by default) and the run SLO
+        scaled by ``admission_margin``; a ready-made controller
+        instance is used as-is.
         """
         scheduler = self._make_scheduler()
+        controller = self._make_admission(admission, slo_s, admission_margin)
         maker = workload or OpenWorkload(self.system)
         timeline = arrivals.generate(maker.make_job)
         open_loop = OpenLoop(
-            timeline, tenants=tenants, max_backlog=self.max_backlog
+            timeline,
+            tenants=tenants,
+            max_backlog=self.max_backlog,
+            admission=controller,
         )
         policy = scheduler.plan(list(initial_jobs or []), self.system)
         result = Dispatcher(self.system, self.ddr4).run(
@@ -118,5 +133,33 @@ class ServingRuntime:
             open_loop=open_loop,
             predictor=self.predictor,
         )
-        report = build_serving_report(result, open_loop, slo_s)
+        report = build_serving_report(
+            result,
+            open_loop,
+            slo_s,
+            predictor=self.predictor,
+            admission=controller,
+        )
         return ServingResult(result=result, report=report, open_loop=open_loop)
+
+    def _make_admission(
+        self,
+        admission: str | AdmissionController | None,
+        slo_s: float,
+        margin: float,
+    ) -> AdmissionController | None:
+        if admission is None or admission == "shed":
+            return None
+        if isinstance(admission, AdmissionController):
+            return admission
+        if admission == "predictive":
+            return PredictiveAdmission(
+                predictor=self.predictor or OraclePredictor(),
+                system=self.system,
+                slo_s=slo_s,
+                margin=margin,
+            )
+        raise ValueError(
+            f"unknown admission mode {admission!r}; choose 'shed', "
+            "'predictive', or pass an AdmissionController"
+        )

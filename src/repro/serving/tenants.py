@@ -21,6 +21,12 @@ Jobs the policy itself cannot place (e.g. every fitting device died)
 come back through :meth:`on_rejected` and are counted as
 ``serving.shed.unplaced``.
 
+An optional :class:`~repro.serving.admission.AdmissionController`
+adds a third, *predictive* gate ahead of the queues: arrivals whose
+predicted sojourn misses their tenant SLO are rejected at the door
+and counted as ``serving.shed.predicted``.  Without a controller the
+loop takes exactly the historical code path.
+
 The loop is **inert when empty**: with no arrivals it schedules no
 simulation events and creates no metric series, which is what makes a
 zero-rate serve run byte-identical to the closed-batch path (see
@@ -41,17 +47,25 @@ __all__ = ["Tenant", "OpenLoop"]
 
 @dataclass(frozen=True)
 class Tenant:
-    """One traffic class: a name, a share weight, a queue bound."""
+    """One traffic class: a name, a share weight, a queue bound.
+
+    ``slo_s`` overrides the run-level SLO for this tenant alone --
+    predictive admission and the report's attainment both judge the
+    tenant against it.  ``None`` (the default) inherits the run SLO.
+    """
 
     name: str
     weight: float = 1.0
     queue_limit: int = 64
+    slo_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
             raise ValueError(f"tenant {self.name}: weight must be positive")
         if self.queue_limit < 1:
             raise ValueError(f"tenant {self.name}: queue_limit must be >= 1")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError(f"tenant {self.name}: slo_s must be positive")
 
 
 @dataclass
@@ -64,6 +78,7 @@ class _TenantState:
     admitted: int = 0
     shed_queue_full: int = 0
     shed_unplaced: int = 0
+    shed_predicted: int = 0
 
 
 class OpenLoop:
@@ -81,11 +96,15 @@ class OpenLoop:
         arrivals: list[JobArrival],
         tenants: list[Tenant],
         max_backlog: int = 32,
+        admission=None,
     ) -> None:
         if max_backlog < 1:
             raise ValueError("max_backlog must be >= 1 (or nothing ever releases)")
         self.arrivals = sorted(arrivals, key=lambda a: (a.time, a.seq))
         self.max_backlog = max_backlog
+        #: Optional predictive gate (AdmissionController); ``None``
+        #: keeps the historical two-level backpressure path untouched.
+        self.admission = admission
         self._tenants: dict[str, _TenantState] = {
             t.name: _TenantState(tenant=t) for t in tenants
         }
@@ -130,6 +149,7 @@ class OpenLoop:
                 "admitted": state.admitted,
                 "shed_queue_full": state.shed_queue_full,
                 "shed_unplaced": state.shed_unplaced,
+                "shed_predicted": state.shed_predicted,
                 "queued": len(state.queue),
             }
             for name, state in sorted(self._tenants.items())
@@ -137,7 +157,8 @@ class OpenLoop:
 
     def total_shed(self) -> int:
         return sum(
-            s.shed_queue_full + s.shed_unplaced for s in self._tenants.values()
+            s.shed_queue_full + s.shed_unplaced + s.shed_predicted
+            for s in self._tenants.values()
         )
 
     def backlog(self) -> int:
@@ -146,13 +167,24 @@ class OpenLoop:
 
     # ------------------------------------------------------------------
     def on_arrival(self, arrival: JobArrival, now: float) -> None:
-        """Admission control: enqueue, or shed against a full queue."""
+        """Admission control: enqueue, or shed against a full queue.
+
+        With a predictive controller attached, an arrival that passes
+        the (cheap) queue-limit check is additionally judged on its
+        predicted sojourn and shed as ``serving.shed.predicted`` on a
+        forecast miss -- before any admitted-work bookkeeping."""
         state = self._tenants[arrival.tenant]
         state.offered += 1
         self._count("serving.offered", arrival.tenant)
         if len(state.queue) >= state.tenant.queue_limit:
             state.shed_queue_full += 1
             self._count("serving.shed.queue_full", arrival.tenant)
+            return
+        if self.admission is not None and not self.admission.decide(
+            arrival.job, state.tenant, now
+        ):
+            state.shed_predicted += 1
+            self._count("serving.shed.predicted", arrival.tenant)
             return
         state.queue.append(arrival)
 
@@ -189,3 +221,12 @@ class OpenLoop:
             state.shed_unplaced += 1
             self._count("serving.shed.unplaced", tenant)
             self.arrival_times.pop(job.job_id, None)
+            if self.admission is not None:
+                self.admission.release(job.job_id)
+
+    def on_finished(self, job_id: str) -> None:
+        """Dispatcher hook for any job leaving the system -- completed
+        or failed.  Pure admission bookkeeping: without a controller
+        this is a no-op, so the historical paths stay byte-identical."""
+        if self.admission is not None:
+            self.admission.release(job_id)

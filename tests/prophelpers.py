@@ -85,3 +85,43 @@ def counter(result, name: str) -> float:
     if result.metrics is None:
         return 0.0
     return result.metrics.counter(name).value
+
+
+def serve_overloaded(
+    scheduler: str,
+    admission=None,
+    seed: int = 20,
+    rate: float = 2e6,
+    horizon: float = 0.002,
+    slo_s: float = 100e-6,
+    **kwargs,
+):
+    """An overloaded serve run on the gnn system: ~2x the pool's drain
+    rate, so backpressure (and any admission gate) is guaranteed to
+    engage.  Shared by the admission determinism / attainment tests."""
+    from repro.harness.config import gnn_system
+    from repro.serving import PoissonArrivals, ServingRuntime, Tenant
+
+    runtime = ServingRuntime(
+        gnn_system(),
+        scheduler=scheduler,
+        max_backlog=kwargs.pop("max_backlog", 16),
+    )
+    names = ("interactive", "batch", "besteffort")
+    tenants = kwargs.pop(
+        "tenants",
+        [
+            Tenant("interactive", weight=4.0, queue_limit=32),
+            Tenant("batch", weight=2.0, queue_limit=32),
+            Tenant("besteffort", weight=1.0, queue_limit=8),
+        ],
+    )
+    return runtime.serve(
+        PoissonArrivals(
+            rate=rate, horizon=horizon, seed=seed, tenants=names
+        ),
+        tenants=tenants,
+        slo_s=slo_s,
+        admission=admission,
+        **kwargs,
+    )

@@ -251,3 +251,79 @@ class TestClusterCommand:
         assert "NODE:SECONDS" in capsys.readouterr().err
         assert main(self.ARGS + ["--fail-node", "node-9:0.1"]) == 2
         assert "unknown node" in capsys.readouterr().err
+
+
+class TestReplayCommand:
+    ARGS = ["replay", "--windows", "2", "--window-ms", "0.5"]
+
+    def test_replay_smoke(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "totals:" in out and "attainment" in out
+
+    def test_replay_predictive_autoscale_json(self, capsys, tmp_path):
+        out_path = tmp_path / "replay.json"
+        assert main(self.ARGS + [
+            "--admission", "predictive", "--autoscale",
+            "--json", str(out_path),
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "mlimp-replay"
+        assert len(payload["windows"]) == 2
+        assert payload["totals"]["shed_predicted"] > 0
+        out = capsys.readouterr().out
+        assert "scale event" in out
+
+    def test_replay_halt_and_resume_byte_identical(self, capsys, tmp_path):
+        straight = tmp_path / "straight.json"
+        resumed = tmp_path / "resumed.json"
+        ck = tmp_path / "ck.json"
+        args = self.ARGS + ["--admission", "predictive", "--autoscale"]
+        assert main(args + ["--json", str(straight)]) == 0
+        capsys.readouterr()
+        assert main(args + [
+            "--halt-after", "1", "--checkpoint", str(ck),
+        ]) == 0
+        assert "halted after 1" in capsys.readouterr().out
+        assert main([
+            "replay", "--resume", str(ck), "--json", str(resumed),
+        ]) == 0
+        assert straight.read_bytes() == resumed.read_bytes()
+
+    def test_replay_rejects_bad_args(self, capsys):
+        assert main(["replay", "--halt-after", "1"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+        assert main(["replay", "--halt-after", "0",
+                     "--checkpoint", "x.json"]) == 2
+        assert "--halt-after" in capsys.readouterr().err
+        assert main(["replay", "--windows", "0"]) == 2
+        assert "windows" in capsys.readouterr().err
+
+    def test_replay_resume_rejects_non_checkpoint(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "nope"}))
+        assert main(["replay", "--resume", str(bogus)]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_serve_admission_flag(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        assert main([
+            "serve", "--system", "gnn", "--rate", "2e6",
+            "--horizon", "0.001", "--slo", "0.1", "--seed", "20",
+            "--queue-limit", "32", "--max-backlog", "16",
+            "--admission", "predictive", "--json", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "admission[predictive]" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["admission"] == "predictive"
+        assert payload["shed_predicted"] > 0
+
+    def test_cluster_admission_flag(self, capsys):
+        assert main([
+            "cluster", "--nodes", "2", "--system", "gnn",
+            "--rate", "2e6", "--horizon", "0.0005", "--slo", "0.1",
+            "--seed", "20", "--queue-limit", "32",
+            "--max-backlog", "16", "--admission", "predictive",
+        ]) == 0
+        assert "admission[predictive]" in capsys.readouterr().out

@@ -32,6 +32,17 @@ class TestLinkChecker:
         check_links = _load_check_links()
         assert check_links.check_all() == []
 
+    def test_pinned_doc_set_covers_subsystem_walkthroughs(self):
+        """The guided walkthroughs stay in the checked set."""
+        check_links = _load_check_links()
+        for doc in (
+            "docs/ARCHITECTURE.md",
+            "docs/SCHEDULERS.md",
+            "docs/CLUSTER.md",
+            "docs/SERVING.md",
+        ):
+            assert doc in check_links.DOC_FILES
+
     def test_checker_is_not_vacuous(self, tmp_path):
         """A doc with a broken link and a broken path ref fails twice."""
         check_links = _load_check_links()

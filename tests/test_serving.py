@@ -336,3 +336,137 @@ def test_serving_composes_with_fault_plan(scheduler):
     failed = len(run.result.failed_jobs)
     assert report.completed + report.shed + failed == report.offered
     assert run.result.fault_summary is not None
+
+
+# ======================================================================
+# Predictive admission (PR 9)
+# ======================================================================
+from repro.serving import PredictiveAdmission  # noqa: E402
+from tests.prophelpers import serve_overloaded  # noqa: E402
+
+
+@pytest.mark.parametrize("scheduler", ("adaptive", "ewt"))
+def test_admission_replay_byte_identical(scheduler):
+    """Seeded replay with the predictive gate on is deterministic."""
+    first = serve_overloaded(scheduler, admission="predictive")
+    second = serve_overloaded(scheduler, admission="predictive")
+    assert json.dumps(first.report.as_dict(), sort_keys=True) == json.dumps(
+        second.report.as_dict(), sort_keys=True
+    )
+    assert trace_key(first.result) == trace_key(second.result)
+
+
+def test_admission_off_byte_identical_to_baseline():
+    """admission=None and admission="shed" both take the exact
+    historical serve path: same report bytes, same trace, no
+    admission-only schema keys, no extra metric series."""
+    baseline = serve_overloaded("adaptive", admission=None)
+    shed = serve_overloaded("adaptive", admission="shed")
+    base_json = json.dumps(baseline.report.as_dict(), sort_keys=True)
+    assert base_json == json.dumps(shed.report.as_dict(), sort_keys=True)
+    assert trace_key(baseline.result) == trace_key(shed.result)
+    assert '"shed_predicted"' not in base_json
+    assert '"admission"' not in base_json
+    assert not any(
+        name == "serving.shed.predicted"
+        or name.startswith("serving.shed.predicted.")
+        for name in baseline.result.metrics.counters
+    )
+
+
+def test_predictive_admission_improves_attainment_under_overload():
+    """The acceptance bar: on the overloaded trace the predictive gate
+    sheds at arrival time and lifts SLO attainment over shed-only."""
+    baseline = serve_overloaded("adaptive", admission=None)
+    gated = serve_overloaded("adaptive", admission="predictive")
+    assert gated.report.shed_predicted > 0
+    assert (
+        gated.report.slo_attainment > baseline.report.slo_attainment
+    )
+    # Accounting still closes on both sides of the gate.
+    for run in (baseline, gated):
+        report = run.report
+        failed = len(run.result.failed_jobs)
+        assert report.completed + report.shed + failed == report.offered
+    # The gate's rejections are itemised per tenant and in the render.
+    payload = gated.report.as_dict()
+    assert payload["admission"] == "predictive"
+    assert payload["shed_predicted"] == sum(
+        t["shed_predicted"] for t in payload["tenants"].values()
+    )
+    rendered = str(gated.report)
+    assert "admission[predictive]" in rendered
+    assert "shed_predicted" in rendered
+
+
+def test_tenant_slo_overrides_run_slo():
+    """A tenant-level SLO both gates admission and scores attainment."""
+    tenants = [
+        Tenant("interactive", weight=4.0, queue_limit=32, slo_s=20e-6),
+        Tenant("batch", weight=2.0, queue_limit=32),
+        Tenant("besteffort", weight=1.0, queue_limit=8),
+    ]
+    run = serve_overloaded(
+        "adaptive", admission="predictive", tenants=tenants
+    )
+    stats = run.open_loop.tenant_stats()
+    # The tight per-tenant SLO rejects far more of that tenant's load
+    # than the run-level 100us SLO rejects of the others'.
+    strict_rate = stats["interactive"]["shed_predicted"] / max(
+        stats["interactive"]["offered"], 1
+    )
+    lax_rate = stats["batch"]["shed_predicted"] / max(
+        stats["batch"]["offered"], 1
+    )
+    assert strict_rate > lax_rate
+    payload = run.report.as_dict()
+    assert payload["tenants"]["interactive"]["slo_ms"] == pytest.approx(0.02)
+    assert "slo_ms" not in payload["tenants"]["batch"] or payload[
+        "tenants"
+    ]["batch"]["slo_ms"] == pytest.approx(run.report.slo_s * 1e3)
+    with pytest.raises(ValueError, match="slo_s"):
+        Tenant("bad", slo_s=0.0)
+
+
+def test_predictive_admission_bookkeeping():
+    """Unit-level: outstanding work grows on admit, drains on release,
+    and the accumulator re-anchors to zero when the system empties."""
+    import random
+
+    from repro.core.predictor import OraclePredictor
+
+    system = gnn_system()
+    gate = PredictiveAdmission(
+        predictor=OraclePredictor(), system=system, slo_s=1.0
+    )
+    tenant = Tenant("a")
+    job = OpenWorkload(system).make_job(0, "a", random.Random(1), {})
+    assert gate.decide(job, tenant, now=0.0)
+    assert gate.outstanding and gate.admitted == 1
+    gate.release(job.job_id)
+    assert not gate.outstanding
+    assert gate._outstanding_work == 0.0
+    # Releasing an unknown job is a no-op (shed jobs were never
+    # recorded).
+    gate.release("never-admitted")
+    # An unserveable SLO rejects at the gate.
+    strict = PredictiveAdmission(
+        predictor=OraclePredictor(), system=system, slo_s=1e-12
+    )
+    assert not strict.decide(job, tenant, now=0.0)
+    assert strict.rejected == 1 and not strict.outstanding
+    with pytest.raises(ValueError, match="slo"):
+        PredictiveAdmission(
+            predictor=OraclePredictor(), system=system, slo_s=0.0
+        )
+    with pytest.raises(ValueError, match="margin"):
+        PredictiveAdmission(
+            predictor=OraclePredictor(), system=system, slo_s=1.0, margin=0.0
+        )
+    with pytest.raises(ValueError, match="admission"):
+        ServingRuntime(system).serve(
+            PoissonArrivals(rate=0.0, horizon=0.0, seed=0, tenants=("a",)),
+            tenants=[Tenant("a")],
+            slo_s=0.01,
+            admission="bogus",
+        )

@@ -37,6 +37,7 @@ DOC_FILES = (
     "docs/ARCHITECTURE.md",
     "docs/CLUSTER.md",
     "docs/SCHEDULERS.md",
+    "docs/SERVING.md",
 )
 
 #: Roots a short backtick path may be relative to, in match order.
