@@ -384,7 +384,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     """Cluster serving run: placement, sharded node sims, merged SLOs."""
     import json
 
-    from .cluster import ClusterRuntime, ClusterSpec, NodeFault
+    from .cluster import ClusterRuntime, ClusterSpec, InterconnectSpec, NodeFault
     from .faults.plan import FaultPlan
     from .harness.config import full_system, gnn_system
     from .serving import PoissonArrivals, Tenant
@@ -402,7 +402,43 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         print("--shards must be at least 1", file=sys.stderr)
         return 2
     system = gnn_system() if args.system == "gnn" else full_system()
-    spec = ClusterSpec.homogeneous(args.nodes, system=system)
+    interconnect = InterconnectSpec(contention=args.contention)
+    node_names = [f"node-{i}" for i in range(args.nodes)]
+    if args.node_spec:
+        scales = {name: 1.0 for name in node_names}
+        for entry in args.node_spec:
+            name, sep, value = entry.rpartition(":")
+            try:
+                if not sep:
+                    raise ValueError
+                scale = float(value)
+            except ValueError:
+                print(
+                    f"--node-spec wants NAME:SCALE, got {entry!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            if name not in scales:
+                print(
+                    f"--node-spec names unknown node {name!r}; "
+                    f"nodes are {', '.join(node_names)}",
+                    file=sys.stderr,
+                )
+                return 2
+            if scale <= 0:
+                print(
+                    f"--node-spec scale must be positive, got {entry!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            scales[name] = scale
+        spec = ClusterSpec.heterogeneous(
+            scales, system=system, interconnect=interconnect
+        )
+    else:
+        spec = ClusterSpec.homogeneous(
+            args.nodes, system=system, interconnect=interconnect
+        )
     node_faults = []
     for entry in args.fail_node or []:
         name, sep, when = entry.rpartition(":")
@@ -465,6 +501,19 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         f"({stats.replica_bytes / 1e6:.1f} MB)  lost {stats.total_lost}  "
         f"throughput {result.completed_per_sec:,.0f} jobs/s"
     )
+    if stats.contention != "none":
+        queued = [d for d in stats.queue_delays if d > 0]
+        print(
+            f"contention[{stats.contention}]  transfers "
+            f"{len(stats.queue_delays)}  queued {len(queued)} "
+            f"({sum(queued) * 1e6:.1f} us total)  peak in-flight "
+            f"{stats.peak_inflight_bytes / 1e6:.1f} MB"
+        )
+    if stats.migrations:
+        print(
+            f"migrations {stats.migrations} "
+            f"({stats.migration_bytes / 1e6:.1f} MB) off dying nodes"
+        )
     if args.json:
         from pathlib import Path
 
@@ -747,6 +796,20 @@ def main(argv: list[str] | None = None) -> int:
         help="homogeneous node count (default: 2)",
     )
     cluster.add_argument(
+        "--node-spec", metavar="NAME:SCALE", action="append", default=None,
+        help="size one node relative to the base system (repeatable), "
+        "e.g. --node-spec node-1:2 --node-spec node-2:0.5; unnamed "
+        "nodes stay at scale 1",
+    )
+    cluster.add_argument(
+        "--contention",
+        choices=["none", "shared"],
+        default="none",
+        help="interconnect model: 'none' prices each transfer "
+        "independently (default, byte-identical to historical "
+        "output); 'shared' queues transfers per directed link",
+    )
+    cluster.add_argument(
         "--rate", type=float, default=50.0, metavar="JOBS_PER_S",
         help="aggregate Poisson arrival rate in jobs/second (default: 50)",
     )
@@ -774,9 +837,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     cluster.add_argument(
         "--placement",
-        choices=["least-loaded", "hash", "round-robin"],
+        choices=["least-loaded", "feedback", "hash", "round-robin"],
         default="least-loaded",
-        help="cluster-level placement policy (default: least-loaded)",
+        help="cluster-level placement policy (default: least-loaded; "
+        "'feedback' biases least-loaded by per-node report feedback "
+        "across replay windows, and equals it on a single run)",
     )
     cluster.add_argument(
         "--system",
@@ -903,9 +968,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     replay.add_argument(
         "--placement",
-        choices=["least-loaded", "hash", "round-robin"],
+        choices=["least-loaded", "feedback", "hash", "round-robin"],
         default="least-loaded",
-        help="cluster placement for --nodes > 0 (default: least-loaded)",
+        help="cluster placement for --nodes > 0 (default: least-loaded; "
+        "'feedback' learns per-node weights across windows and rides "
+        "the checkpoint)",
     )
     replay.add_argument(
         "--checkpoint", metavar="PATH", default=None,

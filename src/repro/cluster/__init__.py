@@ -3,28 +3,38 @@
 The paper -- and every layer below this package -- models **one**
 node's SRAM/DRAM/ReRAM hierarchy.  ``repro.cluster`` scales that out
 to a fleet (the ROADMAP's Tesseract-style north star): a
-:class:`ClusterSpec` of nodes that each own a full
+:class:`ClusterSpec` of nodes (homogeneous or mixed-size via
+:meth:`ClusterSpec.heterogeneous`) that each own a full
 :class:`~repro.core.scheduler.base.MLIMPSystem`, an
 :class:`InterconnectSpec` pricing cross-node handoff and replicated
-fills, and a :class:`ClusterRuntime` that runs the two-level
-scheduler -- cluster placement (:mod:`repro.cluster.placement`) above
-the existing per-node dispatch policies -- with the per-node
-simulations sharded across processes and merged deterministically.
+fills (optionally as a *contended* shared-link fluid queue), and a
+:class:`ClusterRuntime` that runs the two-level scheduler -- cluster
+placement (:mod:`repro.cluster.placement`) above the existing
+per-node dispatch policies -- with the per-node simulations sharded
+across processes and merged deterministically.
 
     python -m repro cluster --nodes 4 --rate 600000 --placement hash
+    python -m repro cluster --nodes 3 --node-spec node-1:2 \\
+        --contention shared --placement feedback
 """
 
 from .placement import (
     PLACEMENTS,
+    FeedbackPlacement,
     HashPlacement,
     LeastLoadedPlacement,
     PlacementPolicy,
     RoundRobinPlacement,
+    estimate_service_time,
     home_node,
+    job_fill_bytes,
+    node_capacity,
+    resolve_home,
 )
 from .report import ClusterStats, NodeOutcome, build_cluster_report
 from .runtime import ClusterResult, ClusterRuntime
 from .spec import (
+    CONTENTION_MODES,
     ClusterSpec,
     InterconnectSpec,
     NodeFault,
@@ -33,6 +43,7 @@ from .spec import (
 )
 
 __all__ = [
+    "CONTENTION_MODES",
     "ClusterSpec",
     "InterconnectSpec",
     "NodeSpec",
@@ -40,10 +51,15 @@ __all__ = [
     "node_fail_events",
     "PlacementPolicy",
     "LeastLoadedPlacement",
+    "FeedbackPlacement",
     "HashPlacement",
     "RoundRobinPlacement",
     "PLACEMENTS",
     "home_node",
+    "resolve_home",
+    "estimate_service_time",
+    "node_capacity",
+    "job_fill_bytes",
     "ClusterStats",
     "NodeOutcome",
     "build_cluster_report",

@@ -33,14 +33,38 @@ from .spec import ClusterSpec
 __all__ = ["ClusterStats", "NodeOutcome", "build_cluster_report"]
 
 
+def _delay_histogram(delays: list[float]) -> dict[str, int]:
+    """Log-decade histogram of queueing delays (seconds): bucket
+    ``"<=1e-06"`` counts delays up to a microsecond, and so on up a
+    decade at a time; ``">1e+00"`` catches the tail.  Deterministic
+    and JSON-friendly (string keys, fixed bucket set)."""
+    edges = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0)
+    counts = dict.fromkeys([f"<={edge:.0e}" for edge in edges], 0)
+    counts[">1e+00"] = 0
+    for delay in delays:
+        for edge in edges:
+            if delay <= edge:
+                counts[f"<={edge:.0e}"] += 1
+                break
+        else:
+            counts[">1e+00"] += 1
+    return counts
+
+
 @dataclass
 class ClusterStats:
-    """Placement and interconnect accounting of one cluster run."""
+    """Placement and interconnect accounting of one cluster run.
+
+    The contention and migration fields are *feature-gated* in
+    :meth:`as_dict`: a run with ``contention="none"`` and no
+    migrations emits exactly the historical key set, keeping pinned
+    outputs byte-identical.
+    """
 
     placement: str
     #: node name -> arrivals placed there.
     placed: dict[str, int] = field(default_factory=dict)
-    #: Jobs placed away from their tenant's home node.
+    #: Jobs placed away from their tenant's (effective) home node.
     handoffs: int = 0
     handoff_bytes: float = 0.0
     #: Replicated fills (first landing of a tenant away from home).
@@ -48,8 +72,20 @@ class ClusterStats:
     replica_bytes: float = 0.0
     #: tenant -> arrivals that found no live node (cluster-level shed).
     lost_no_node: dict[str, int] = field(default_factory=dict)
-    #: job_id -> handoff delay added before the job reached its node.
+    #: job_id -> total interconnect delay added before the job
+    #: reached its node (handoff + replica + queueing + migration).
     delays: dict[str, float] = field(default_factory=dict)
+    #: Interconnect contention model the run used ("none"/"shared").
+    contention: str = "none"
+    #: Per-transfer queueing delays (seconds waited behind earlier
+    #: transfers on a shared link); empty under ``contention="none"``.
+    queue_delays: list[float] = field(default_factory=list)
+    #: Largest total bytes simultaneously in flight across all links.
+    peak_inflight_bytes: float = 0.0
+    #: Jobs re-placed off a node that died before their (delayed)
+    #: landing time.
+    migrations: int = 0
+    migration_bytes: float = 0.0
 
     @property
     def total_lost(self) -> int:
@@ -59,7 +95,7 @@ class ClusterStats:
         """JSON-ready summary (per-job delays are summarised, not
         dumped)."""
         delayed = [d for d in self.delays.values() if d > 0]
-        return {
+        out = {
             "placement": self.placement,
             "placed": dict(sorted(self.placed.items())),
             "handoffs": self.handoffs,
@@ -73,6 +109,28 @@ class ClusterStats:
                 "max": max(delayed) if delayed else 0.0,
             },
         }
+        if self.contention != "none":
+            queued = [d for d in self.queue_delays if d > 0]
+            out["contention"] = {
+                "model": self.contention,
+                "transfers": len(self.queue_delays),
+                "queued": len(queued),
+                "queue_delay_s": {
+                    "count": len(queued),
+                    "total": sum(queued),
+                    "max": max(queued) if queued else 0.0,
+                    "p50": nearest_rank(sorted(queued), 0.50) if queued else 0.0,
+                    "p95": nearest_rank(sorted(queued), 0.95) if queued else 0.0,
+                },
+                "queue_delay_histogram": _delay_histogram(queued),
+                "peak_inflight_bytes": self.peak_inflight_bytes,
+            }
+        if self.migrations:
+            out["migrations"] = {
+                "count": self.migrations,
+                "bytes": self.migration_bytes,
+            }
+        return out
 
 
 @dataclass

@@ -6,10 +6,20 @@ One cluster run is three passes:
    generated once for the whole fleet, then walked in arrival order.
    A :class:`~repro.cluster.placement.PlacementPolicy` assigns each
    arrival to a live node using only information available at that
-   timestamp; jobs placed away from their tenant's CRC32 home node
-   pay the interconnect handoff (and, on a tenant's first landing on
-   a foreign node, a replicated fill), which *delays their node-local
-   arrival time*.  Dead nodes (``NodeFault``) stop being candidates.
+   timestamp; jobs placed away from their tenant's *effective* CRC32
+   home node (the salted rehash over live nodes, so a tenant whose
+   home died is not charged forever) pay the interconnect handoff
+   (and, on a tenant's first landing on a foreign node, a replicated
+   fill), which *delays their node-local arrival time*.  Dead nodes
+   (``NodeFault``) stop being candidates.  Under
+   ``contention="shared"`` every transfer additionally runs through
+   :class:`_SharedLinks` -- a deterministic fluid queue per directed
+   link, walked in the same arrival order, so concurrent transfers
+   serialise and pick up queueing delay.  A job whose *delayed*
+   landing time falls after its node's fault is **migrated**: pass 1
+   re-places it among the nodes still alive at the landing time,
+   paying a fresh handoff on the (dead node, new node) link, instead
+   of delivering it into the dead node's failure path.
 2. **Node simulation** (per node, independent): each node replays its
    slice of the timeline through an ordinary
    :class:`~repro.serving.runtime.ServingRuntime` -- same scheduler
@@ -36,6 +46,7 @@ same system (see ``tests/test_cluster_serving.py``).
 from __future__ import annotations
 
 import dataclasses
+import heapq
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -54,11 +65,61 @@ from .placement import (
     estimate_service_time,
     home_node,
     job_fill_bytes,
+    node_capacity,
+    resolve_home,
 )
 from .report import ClusterStats, NodeOutcome, build_cluster_report
-from .spec import ClusterSpec, NodeFault, NodeSpec, node_fail_events
+from .spec import ClusterSpec, InterconnectSpec, NodeFault, NodeSpec, node_fail_events
 
 __all__ = ["ClusterResult", "ClusterRuntime"]
+
+
+class _SharedLinks:
+    """Deterministic fluid queue over the interconnect's directed links.
+
+    Each (source, destination) node pair is one link.  Transfers are
+    issued in fleet arrival order (pass 1's walk), and a transfer
+    holds its link from the moment it starts until delivery completes
+    (``latency + bytes/bandwidth`` -- store-and-forward, the Tesseract
+    framing of explicit inter-node cost).  A transfer issued while its
+    link is held *queues*: it begins at the link's release time, never
+    earlier.  Because ``begin = max(start, busy_until)`` and IEEE
+    addition is monotone in its left operand, a transfer's completion
+    under contention is **never earlier** than the uncontended
+    ``start + transfer_time(bytes)`` -- contention can only add delay
+    (see ``tests/test_cluster_contention.py``).
+
+    Also tracks the accounting the contention report wants: every
+    transfer's queueing delay, and the peak total bytes simultaneously
+    in flight across all links (a min-heap of completion times drains
+    delivered transfers as later ones are issued).
+    """
+
+    def __init__(self, interconnect: InterconnectSpec) -> None:
+        self.interconnect = interconnect
+        self._busy_until: dict[tuple[int, int], float] = {}
+        self._inflight: list[tuple[float, float]] = []
+        self._inflight_bytes = 0.0
+        #: Per-transfer wait behind earlier transfers (0.0 when clear).
+        self.queue_delays: list[float] = []
+        self.peak_inflight_bytes = 0.0
+
+    def ship(self, src: int, dst: int, nbytes: float, start: float) -> float:
+        """Issue one transfer; returns its delivery completion time."""
+        link = (src, dst)
+        busy = self._busy_until.get(link, 0.0)
+        begin = busy if busy > start else start
+        self.queue_delays.append(begin - start)
+        complete = begin + self.interconnect.transfer_time(nbytes)
+        self._busy_until[link] = complete
+        while self._inflight and self._inflight[0][0] <= begin:
+            _, delivered = heapq.heappop(self._inflight)
+            self._inflight_bytes -= delivered
+        heapq.heappush(self._inflight, (complete, nbytes))
+        self._inflight_bytes += nbytes
+        if self._inflight_bytes > self.peak_inflight_bytes:
+            self.peak_inflight_bytes = self._inflight_bytes
+        return complete
 
 
 @dataclass(frozen=True)
@@ -266,10 +327,13 @@ class ClusterRuntime:
 
         # Pass 1: causal placement over the fleet-wide timeline.
         policy = self._make_placement()
-        policy.reset(n)
+        policy.reset(n, [node_capacity(node.system) for node in spec.nodes])
+        shared = interconnect.contention == "shared"
+        links = _SharedLinks(interconnect) if shared else None
         stats = ClusterStats(
             placement=policy.name,
             placed={node.name: 0 for node in spec.nodes},
+            contention=interconnect.contention,
         )
         per_node: list[list[JobArrival]] = [[] for _ in range(n)]
         replicated: set[tuple[str, int]] = set()
@@ -280,24 +344,85 @@ class ClusterRuntime:
                     stats.lost_no_node.get(arrival.tenant, 0) + 1
                 )
                 continue
-            chosen = policy.choose(
-                arrival, candidates, estimate_service_time(arrival.job)
-            )
+            est = estimate_service_time(arrival.job)
+            chosen = policy.choose(arrival, candidates, est)
+            # The tenant's *effective* home is the salted rehash over
+            # the live nodes -- the exact node HashPlacement resolves
+            # to -- so a tenant whose home died pays for the one move
+            # to its new stable home, not forever after.
+            home = resolve_home(arrival.tenant, n, set(candidates))
+            if home is None:  # pragma: no cover - salts cover all nodes
+                home = home_node(arrival.tenant, n)
             delay = 0.0
-            if chosen != home_node(arrival.tenant, n):
+            if chosen != home:
                 # Handoff: the job's input crosses the interconnect...
                 nbytes = job_fill_bytes(arrival.job)
-                delay += interconnect.transfer_time(nbytes)
                 stats.handoffs += 1
                 stats.handoff_bytes += nbytes
                 # ...and the tenant's first landing on this foreign
                 # node drags its replicated resident state along.
-                if (arrival.tenant, chosen) not in replicated:
+                first = (arrival.tenant, chosen) not in replicated
+                if first:
                     replicated.add((arrival.tenant, chosen))
                     rbytes = interconnect.replica_bytes(nbytes)
-                    delay += interconnect.transfer_time(rbytes)
                     stats.replicas += 1
                     stats.replica_bytes += rbytes
+                if links is not None:
+                    complete = links.ship(home, chosen, nbytes, arrival.time)
+                    if first:
+                        complete = links.ship(home, chosen, rbytes, complete)
+                    delay = complete - arrival.time
+                else:
+                    # contention="none": keep the exact historical
+                    # accumulation (FP addition is non-associative;
+                    # pinned outputs must stay byte-identical).
+                    delay += interconnect.transfer_time(nbytes)
+                    if first:
+                        delay += interconnect.transfer_time(rbytes)
+            # Migration: if the interconnect delay lands the job after
+            # its node's fault, it must not be delivered to a dead
+            # node -- re-place among nodes alive at the landing time,
+            # shipping the input off the dying node.
+            t_land = arrival.time + delay
+            lost = False
+            tried: set[int] = set()
+            while t_land >= fail_time[chosen]:
+                tried.add(chosen)
+                later = [
+                    i
+                    for i in range(n)
+                    if i not in tried and t_land < fail_time[i]
+                ]
+                if not later:
+                    stats.lost_no_node[arrival.tenant] = (
+                        stats.lost_no_node.get(arrival.tenant, 0) + 1
+                    )
+                    lost = True
+                    break
+                target = policy.choose(
+                    dataclasses.replace(arrival, time=t_land), later, est
+                )
+                nbytes = job_fill_bytes(arrival.job)
+                stats.migrations += 1
+                stats.migration_bytes += nbytes
+                if links is not None:
+                    complete = links.ship(chosen, target, nbytes, t_land)
+                else:
+                    complete = t_land + interconnect.transfer_time(nbytes)
+                if target != home and (arrival.tenant, target) not in replicated:
+                    replicated.add((arrival.tenant, target))
+                    rbytes = interconnect.replica_bytes(nbytes)
+                    stats.replicas += 1
+                    stats.replica_bytes += rbytes
+                    if links is not None:
+                        complete = links.ship(chosen, target, rbytes, complete)
+                    else:
+                        complete += interconnect.transfer_time(rbytes)
+                t_land = complete
+                delay = t_land - arrival.time
+                chosen = target
+            if lost:
+                continue
             stats.placed[spec.nodes[chosen].name] += 1
             if delay > 0:
                 stats.delays[arrival.job.job_id] = delay
@@ -305,6 +430,9 @@ class ClusterRuntime:
                     arrival, time=arrival.time + delay
                 )
             per_node[chosen].append(arrival)
+        if links is not None:
+            stats.queue_delays = links.queue_delays
+            stats.peak_inflight_bytes = links.peak_inflight_bytes
 
         # Pass 2: independent node simulations, optionally sharded.
         plans = self._node_plans(faults, tuple(node_faults))

@@ -14,7 +14,11 @@ north star is a *fleet* of such nodes behind the serving layer.  A
   on a foreign node additionally pays a **replicated fill** (the
   tenant's resident state is copied over, ``replica_factor`` times
   the job's fill bytes), after Tesseract's explicit inter-node
-  communication cost (PAPERS.md);
+  communication cost (PAPERS.md).  With ``contention="shared"`` the
+  fabric additionally becomes a *shared resource*: each directed
+  (source, destination) link is a deterministic fluid queue, so
+  concurrent handoffs and replica fills serialise behind each other
+  and pick up queueing delay (see ``cluster/runtime.py``);
 * a :class:`NodeFault` loses a whole node at a point in time.  It is
   *compiled down* to the existing device-fault machinery --
   :func:`node_fail_events` emits one permanent ``fail``
@@ -29,19 +33,26 @@ deterministic to construct.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from ..core.scheduler.base import MLIMPSystem
 from ..faults.plan import FaultEvent, FaultKind
 from ..memories import DEFAULT_SPECS
+from ..serving.autoscale import scale_system
 
 __all__ = [
+    "CONTENTION_MODES",
     "InterconnectSpec",
     "NodeSpec",
     "NodeFault",
     "ClusterSpec",
     "node_fail_events",
 ]
+
+#: Interconnect contention models: ``"none"`` is the PR-7 fixed
+#: per-transfer pricing, ``"shared"`` the per-link fluid queue.
+CONTENTION_MODES = ("none", "shared")
 
 
 @dataclass(frozen=True)
@@ -58,6 +69,12 @@ class InterconnectSpec:
     latency_s: float = 2e-6
     bandwidth_bytes_per_s: float = 12.5e9
     replica_factor: float = 4.0
+    #: ``"none"``: every transfer is priced independently (the PR-7
+    #: model, byte-identical to the historical output).  ``"shared"``:
+    #: each directed link is a fluid queue -- transfers serialise in
+    #: arrival order, and a transfer holds its link until delivery
+    #: completes, so contention can only ever *add* delay.
+    contention: str = "none"
 
     def __post_init__(self) -> None:
         if self.latency_s < 0:
@@ -66,6 +83,11 @@ class InterconnectSpec:
             raise ValueError("bandwidth must be positive")
         if self.replica_factor < 0:
             raise ValueError("replica_factor must be non-negative")
+        if self.contention not in CONTENTION_MODES:
+            raise ValueError(
+                f"unknown contention model {self.contention!r}; "
+                f"choose from {CONTENTION_MODES}"
+            )
 
     def transfer_time(self, nbytes: float) -> float:
         """Wire time of one ``nbytes`` transfer between two nodes."""
@@ -81,14 +103,22 @@ class InterconnectSpec:
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One MLIMP node: a name and its own device set."""
+    """One MLIMP node: a name and its own device set.
+
+    ``scale`` records the node's size relative to the cluster's base
+    system (1.0 for homogeneous fleets) -- informational: the
+    ``system`` already carries the scaled device counts.
+    """
 
     name: str
     system: MLIMPSystem
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("node needs a non-empty name")
+        if self.scale <= 0:
+            raise ValueError(f"node scale must be positive, got {self.scale}")
 
 
 @dataclass(frozen=True)
@@ -144,14 +174,64 @@ class ClusterSpec:
     ) -> "ClusterSpec":
         """``n_nodes`` identical nodes (``node-0`` .. ``node-N-1``),
         each owning its own copy of ``system`` (default: the full
-        Table III device set)."""
+        Table III device set).
+
+        The copies are genuinely independent: ``MLIMPSystem.specs``
+        is a plain mutable dict, so sharing one instance across nodes
+        would alias every node's device set (scaling one node would
+        scale them all -- see ``tests/test_cluster.py``).
+        """
         if n_nodes < 1:
             raise ValueError(f"need at least one node, got {n_nodes}")
         system = system or MLIMPSystem(specs=dict(DEFAULT_SPECS))
         return cls(
             nodes=tuple(
-                NodeSpec(name=f"node-{i}", system=system) for i in range(n_nodes)
+                NodeSpec(
+                    name=f"node-{i}",
+                    system=MLIMPSystem(specs=dict(system.specs)),
+                )
+                for i in range(n_nodes)
             ),
+            interconnect=interconnect or InterconnectSpec(),
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        scales: Mapping[str, float] | Sequence[tuple[str, float]],
+        system: MLIMPSystem | None = None,
+        interconnect: InterconnectSpec | None = None,
+    ) -> "ClusterSpec":
+        """Mixed-size nodes: each entry of ``scales`` is one node,
+        sized ``scale`` times the base ``system`` (array counts and
+        job slots multiply via
+        :func:`~repro.serving.autoscale.scale_system`; clocks,
+        geometry and bandwidths stay at spec).
+
+        ``scales`` is ordered -- a ``{name: scale}`` mapping or
+        ``(name, scale)`` pairs; node order in the cluster follows it.
+        Fractional scales model weak nodes (``0.5`` halves the device
+        pool, floored at one array/slot).  Note the serving layers
+        profile jobs against **node 0's** system by default, so keep
+        the first node at scale 1.0 (or pass an explicit workload)
+        when the reference sizing matters.
+        """
+        items = (
+            list(scales.items())
+            if isinstance(scales, Mapping)
+            else [(name, scale) for name, scale in scales]
+        )
+        if not items:
+            raise ValueError("heterogeneous cluster needs at least one node")
+        base = system or MLIMPSystem(specs=dict(DEFAULT_SPECS))
+        nodes = []
+        for name, scale in items:
+            scaled = scale_system(base, scale)
+            if scaled is base:  # scale 1.0 returns the same object
+                scaled = MLIMPSystem(specs=dict(base.specs))
+            nodes.append(NodeSpec(name=name, system=scaled, scale=float(scale)))
+        return cls(
+            nodes=tuple(nodes),
             interconnect=interconnect or InterconnectSpec(),
         )
 

@@ -11,14 +11,19 @@ seeded arrivals back to back:
   pool -- seeded Poisson arrivals, run to drain, byte-stable;
 * between windows the :class:`~repro.serving.autoscale.Autoscaler`
   reads the finished window's utilisation / queue-depth / shed-rate
-  signals and resizes the pool for the next one;
+  signals and resizes the pool for the next one; a cluster replay
+  with ``placement="feedback"`` additionally feeds every node's
+  window report back into one persistent
+  :class:`~repro.cluster.placement.FeedbackPlacement`, so placement
+  and scaling share the same between-window feedback cycle;
 * window seeds derive deterministically from ``(config.seed, window
   index)``, so any window simulates identically no matter when -- or
   in which process -- it runs.
 
 That last property makes **checkpoint/resume exact**: the only state
 crossing a window boundary is the autoscaler's integer scale, its
-event log, and the finished windows' summary rows -- all plain JSON.
+event log, the feedback policy's plain-float node weights, and the
+finished windows' summary rows -- all plain JSON.
 A replay halted at any window and resumed from its checkpoint file
 produces byte-identical final output to the uninterrupted run (CI's
 ``replay-smoke`` job ``cmp``-gates this).
@@ -38,6 +43,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..cluster.placement import FeedbackPlacement, PlacementPolicy
 from ..cluster.runtime import ClusterRuntime
 from ..cluster.spec import ClusterSpec
 from ..serving import (
@@ -137,8 +143,20 @@ def _tenants(config: ReplayConfig) -> list[Tenant]:
     ]
 
 
-def _run_window(config: ReplayConfig, window: int, scale: int) -> dict:
-    """Simulate one window at one pool scale; return its summary row."""
+def _run_window(
+    config: ReplayConfig,
+    window: int,
+    scale: int,
+    placement: PlacementPolicy | None = None,
+) -> dict:
+    """Simulate one window at one pool scale; return its summary row.
+
+    ``placement`` optionally threads one persistent policy instance
+    through the window (the feedback loop: a
+    :class:`FeedbackPlacement` keeps its learned node weights across
+    windows, and this function feeds it the finished window's
+    per-node report sections).
+    """
     base = gnn_system() if config.system == "gnn" else full_system()
     system = scale_system(base, scale)
     tenants = _tenants(config)
@@ -150,10 +168,11 @@ def _run_window(config: ReplayConfig, window: int, scale: int) -> dict:
     )
     label = f"{config.scheduler}/replay-w{window}"
     if config.nodes > 0:
+        cluster = ClusterSpec.homogeneous(config.nodes, system=system)
         runtime = ClusterRuntime(
-            ClusterSpec.homogeneous(config.nodes, system=system),
+            cluster,
             scheduler=config.scheduler,
-            placement=config.placement,
+            placement=placement if placement is not None else config.placement,
             max_backlog=config.max_backlog,
         )
         result = runtime.serve(
@@ -165,6 +184,10 @@ def _run_window(config: ReplayConfig, window: int, scale: int) -> dict:
             admission_margin=config.admission_margin,
         )
         report = result.report
+        if isinstance(placement, FeedbackPlacement):
+            placement.observe_reports(
+                [report.nodes.get(name, {}) for name in cluster.names]
+            )
         # Per-node metrics stay inside the shards; the cluster signal
         # set is utilisation + shed rate (queue depth reads 0).
         queue_depth = 0.0
@@ -222,10 +245,17 @@ def _totals(rows: list[dict]) -> dict:
     }
 
 
+def _uses_feedback(config: ReplayConfig) -> bool:
+    return config.nodes > 0 and config.placement == "feedback"
+
+
 def _payload(
-    config: ReplayConfig, rows: list[dict], autoscaler: Autoscaler
+    config: ReplayConfig,
+    rows: list[dict],
+    autoscaler: Autoscaler,
+    placement: PlacementPolicy | None = None,
 ) -> dict:
-    return {
+    payload = {
         "format": PAYLOAD_FORMAT,
         "version": REPLAY_STATE_VERSION,
         "config": config.as_dict(),
@@ -234,11 +264,17 @@ def _payload(
         "final_scale": autoscaler.scale,
         "totals": _totals(rows),
     }
+    # Gated: only feedback replays carry weights, so every other
+    # payload stays byte-identical to the historical schema.
+    if isinstance(placement, FeedbackPlacement):
+        payload["placement_weights"] = placement.weights
+    return payload
 
 
 def _write_checkpoint(
     path, config: ReplayConfig, next_window: int,
     rows: list[dict], autoscaler: Autoscaler,
+    placement: PlacementPolicy | None = None,
 ) -> Path:
     payload = {
         "format": CHECKPOINT_FORMAT,
@@ -248,6 +284,8 @@ def _write_checkpoint(
         "autoscale": autoscaler.state_dict(),
         "windows": rows,
     }
+    if isinstance(placement, FeedbackPlacement):
+        payload["placement_weights"] = placement.weights
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -275,6 +313,7 @@ def run_replay(
     _start_window: int = 0,
     _autoscaler: Autoscaler | None = None,
     _rows: list[dict] | None = None,
+    _placement_weights: list[float] | None = None,
 ) -> dict | None:
     """Replay the configured windows; return the final payload.
 
@@ -283,19 +322,27 @@ def run_replay(
     :func:`resume_replay` then continues from exactly that point.
     The resumed run's payload is byte-identical to an uninterrupted
     one: window seeds depend only on the window index, and all
-    cross-window state lives in the checkpoint.
+    cross-window state (autoscaler, feedback-placement weights) lives
+    in the checkpoint.
     """
     if halt_after is not None and checkpoint_path is None:
         raise ValueError("halt_after needs a checkpoint_path to write")
     autoscaler = _autoscaler or Autoscaler(policy=config.autoscale_policy())
     rows = list(_rows or [])
+    # One persistent policy instance carries the feedback loop's node
+    # weights across windows (and in/out of checkpoints).
+    placement = (
+        FeedbackPlacement(weights=_placement_weights)
+        if _uses_feedback(config)
+        else None
+    )
     for window in range(_start_window, config.windows):
         if halt_after is not None and window >= halt_after:
             _write_checkpoint(
-                checkpoint_path, config, window, rows, autoscaler
+                checkpoint_path, config, window, rows, autoscaler, placement
             )
             return None
-        row = _run_window(config, window, autoscaler.scale)
+        row = _run_window(config, window, autoscaler.scale, placement)
         rows.append(row)
         if config.autoscale:
             autoscaler.observe(
@@ -304,7 +351,7 @@ def run_replay(
                 queue_depth=row["queue_depth_mean"],
                 shed_rate=row["shed_rate"],
             )
-    return _payload(config, rows, autoscaler)
+    return _payload(config, rows, autoscaler, placement)
 
 
 def resume_replay(
@@ -316,6 +363,7 @@ def resume_replay(
     autoscaler = Autoscaler.from_state(
         config.autoscale_policy(), state["autoscale"]
     )
+    weights = state.get("placement_weights")
     return run_replay(
         config,
         checkpoint_path=checkpoint_path,
@@ -323,6 +371,7 @@ def resume_replay(
         _start_window=int(state["next_window"]),
         _autoscaler=autoscaler,
         _rows=list(state["windows"]),
+        _placement_weights=list(weights) if weights else None,
     )
 
 

@@ -180,21 +180,30 @@ class Autoscaler:
         )
 
 
-def scale_system(system: MLIMPSystem, scale: int) -> MLIMPSystem:
+def scale_system(system: MLIMPSystem, scale: int | float) -> MLIMPSystem:
     """``scale`` copies of every device: array counts and job slots
     multiply, clocks/geometry/bandwidths stay at spec.  Scale 1 is the
     identity (the same object, so an unscaled replay window runs on a
-    byte-identical system)."""
-    if scale < 1:
-        raise ValueError(f"scale must be >= 1, got {scale}")
+    byte-identical system).
+
+    The autoscaler always passes integers; fractional scales exist
+    for heterogeneous cluster nodes
+    (:meth:`~repro.cluster.spec.ClusterSpec.heterogeneous`) -- a weak
+    node at ``scale=0.5`` keeps half the arrays and slots, floored at
+    one of each so every device stays usable.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
     if scale == 1:
         return system
     return MLIMPSystem(
         specs={
             kind: replace(
                 spec,
-                num_arrays=spec.num_arrays * scale,
-                max_outstanding_jobs=spec.max_outstanding_jobs * scale,
+                num_arrays=max(1, int(round(spec.num_arrays * scale))),
+                max_outstanding_jobs=max(
+                    1, int(round(spec.max_outstanding_jobs * scale))
+                ),
             )
             for kind, spec in system.specs.items()
         }

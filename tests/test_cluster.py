@@ -13,9 +13,11 @@ import pytest
 
 from tests.prophelpers import make_jobs
 from repro.cluster import (
+    CONTENTION_MODES,
     PLACEMENTS,
     ClusterRuntime,
     ClusterSpec,
+    FeedbackPlacement,
     HashPlacement,
     InterconnectSpec,
     LeastLoadedPlacement,
@@ -23,11 +25,15 @@ from repro.cluster import (
     NodeSpec,
     RoundRobinPlacement,
     home_node,
+    node_capacity,
     node_fail_events,
+    resolve_home,
 )
 from repro.cluster.placement import estimate_service_time, job_fill_bytes
+from repro.core.scheduler.base import MLIMPSystem
 from repro.faults.plan import FaultKind
 from repro.harness.config import full_system
+from repro.serving.autoscale import scale_system
 from repro.sim.events import JobArrival
 
 
@@ -70,6 +76,72 @@ class TestClusterSpec:
     def test_unknown_node_raises(self):
         with pytest.raises(KeyError, match="nope"):
             ClusterSpec.homogeneous(2).index_of("nope")
+
+    def test_homogeneous_nodes_do_not_alias_one_system(self):
+        # Regression: every NodeSpec used to receive the SAME
+        # MLIMPSystem instance -- mutating one node's (plain-dict)
+        # device set silently rewrote every node's.
+        import dataclasses
+
+        spec = ClusterSpec.homogeneous(2)
+        a, b = spec.nodes[0].system, spec.nodes[1].system
+        assert a is not b
+        assert a.specs is not b.specs
+        kind = next(iter(a.specs))
+        before = b.specs[kind].num_arrays
+        a.specs[kind] = dataclasses.replace(
+            a.specs[kind], num_arrays=a.specs[kind].num_arrays * 2
+        )
+        assert b.specs[kind].num_arrays == before
+
+
+class TestHeterogeneousSpec:
+    def test_scales_apply_to_arrays_and_slots(self):
+        base = full_system()
+        spec = ClusterSpec.heterogeneous(
+            {"node-0": 1.0, "node-1": 2.0, "node-2": 0.5}, system=base
+        )
+        assert spec.names == ["node-0", "node-1", "node-2"]
+        assert [n.scale for n in spec.nodes] == [1.0, 2.0, 0.5]
+        for kind, ref in base.specs.items():
+            assert spec.nodes[1].system.specs[kind].num_arrays == max(
+                1, round(ref.num_arrays * 2)
+            )
+            assert spec.nodes[2].system.specs[kind].num_arrays == max(
+                1, round(ref.num_arrays * 0.5)
+            )
+
+    def test_accepts_ordered_pairs(self):
+        spec = ClusterSpec.heterogeneous([("big", 2.0), ("small", 0.5)])
+        assert spec.names == ["big", "small"]
+
+    def test_scale_one_nodes_still_independent(self):
+        base = full_system()
+        spec = ClusterSpec.heterogeneous(
+            {"node-0": 1.0, "node-1": 1.0}, system=base
+        )
+        assert spec.nodes[0].system is not base
+        assert spec.nodes[0].system is not spec.nodes[1].system
+        assert spec.nodes[0].system.specs is not spec.nodes[1].system.specs
+
+    def test_rejects_empty_and_bad_scales(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ClusterSpec.heterogeneous({})
+        with pytest.raises(ValueError, match="positive"):
+            ClusterSpec.heterogeneous({"node-0": 0.0})
+        with pytest.raises(ValueError, match="positive"):
+            NodeSpec("n", full_system(), scale=-1.0)
+
+
+class TestNodeCapacity:
+    def test_tracks_scale_linearly(self):
+        base = full_system()
+        assert node_capacity(scale_system(base, 2)) == pytest.approx(
+            2 * node_capacity(base)
+        )
+
+    def test_positive_for_real_systems(self):
+        assert node_capacity(full_system()) > 0
 
 
 class TestInterconnect:
@@ -129,6 +201,57 @@ class TestHomeNode:
             assert home_node(tenant, 1) == 0
 
 
+class TestResolveHome:
+    def test_all_alive_is_plain_home(self):
+        for tenant in ("a", "b", "interactive"):
+            assert resolve_home(tenant, 4, {0, 1, 2, 3}) == home_node(
+                tenant, 4
+            )
+
+    def test_dead_home_resolves_to_hash_rehash(self):
+        # The effective home must be the exact node HashPlacement
+        # lands on once the original home is dead.
+        policy = HashPlacement()
+        policy.reset(4)
+        home = home_node("t", 4)
+        alive = [i for i in range(4) if i != home]
+        rehash = policy.choose(_arrival(0, tenant="t"), alive, 1.0)
+        assert resolve_home("t", 4, set(alive)) == rehash
+
+    def test_no_live_node_returns_none(self):
+        assert resolve_home("t", 4, set()) is None
+
+
+class TestCapacities:
+    def test_reset_normalises_to_fleet_max(self):
+        policy = LeastLoadedPlacement()
+        policy.reset(3, [2.0, 4.0, 1.0])
+        assert policy.capacities == [0.5, 1.0, 0.25]
+
+    def test_homogeneous_capacities_are_exactly_one(self):
+        policy = LeastLoadedPlacement()
+        policy.reset(3, [7.5, 7.5, 7.5])
+        assert policy.capacities == [1.0, 1.0, 1.0]
+
+    def test_reset_validates(self):
+        policy = LeastLoadedPlacement()
+        with pytest.raises(ValueError, match="one capacity per node"):
+            policy.reset(3, [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            policy.reset(2, [0.0, 0.0])
+
+    def test_big_node_attracts_more_load(self):
+        policy = LeastLoadedPlacement()
+        policy.reset(2, [1.0, 2.0])
+        picks = [
+            policy.choose(_arrival(i, time=0.0), [0, 1], 1.0)
+            for i in range(6)
+        ]
+        # The 2x node drains twice as fast, so its expected wait grows
+        # half as quickly: it takes two jobs for every one on node 0.
+        assert picks.count(1) > picks.count(0)
+
+
 class TestLeastLoaded:
     def test_ties_break_to_lowest_index(self):
         policy = LeastLoadedPlacement()
@@ -178,6 +301,83 @@ class TestRoundRobin:
         assert picks == [0, 1, 2, 0, 1, 2]
 
 
+class TestFeedbackPlacement:
+    def _sections(self, good: float, bad: float) -> list[dict]:
+        return [
+            {"offered": 100, "shed": 0, "slo_attainment": good,
+             "utilisation": {"sram": 0.2}},
+            {"offered": 100, "shed": 50, "slo_attainment": bad,
+             "utilisation": {"sram": 0.9}},
+        ]
+
+    def test_fresh_policy_matches_least_loaded(self):
+        feedback = FeedbackPlacement()
+        baseline = LeastLoadedPlacement()
+        feedback.reset(3)
+        baseline.reset(3)
+        for i in range(12):
+            arrival = _arrival(i, tenant=f"t{i % 4}", time=i * 1e-4)
+            assert feedback.choose(arrival, [0, 1, 2], 0.5) == (
+                baseline.choose(arrival, [0, 1, 2], 0.5)
+            )
+
+    def test_observe_reports_downweights_the_laggard(self):
+        policy = FeedbackPlacement()
+        policy.reset(2)
+        policy.observe_reports(self._sections(good=1.0, bad=0.2))
+        weights = policy.weights
+        assert weights[0] > 1.0 > weights[1]
+
+    def test_weights_bias_choice(self):
+        policy = FeedbackPlacement(weights=[1.0, 2.0])
+        policy.reset(2)
+        # The upweighted node's effective wait grows half as fast, so
+        # it absorbs most of a burst the uniform policy would split.
+        picks = [policy.choose(_arrival(i), [0, 1], 1.0) for i in range(5)]
+        assert picks.count(1) > picks.count(0)
+
+    def test_weights_survive_reset_and_are_plain_floats(self):
+        policy = FeedbackPlacement()
+        policy.reset(2)
+        policy.observe_reports(self._sections(good=1.0, bad=0.2))
+        learned = policy.weights
+        policy.reset(2)  # new window, same fleet
+        assert policy.weights == learned
+        policy.reset(3)  # different fleet size: start over
+        assert policy.weights == [1.0, 1.0, 1.0]
+        assert all(isinstance(w, float) for w in learned)
+
+    def test_weights_clamped(self):
+        policy = FeedbackPlacement(gain=100.0)
+        policy.reset(2)
+        for _ in range(5):
+            policy.observe_reports(self._sections(good=1.0, bad=0.0))
+        assert policy.weights[0] <= policy.max_weight
+        assert policy.weights[1] >= policy.min_weight
+
+    def test_empty_windows_leave_weights_alone(self):
+        policy = FeedbackPlacement()
+        policy.reset(2)
+        policy.observe_reports([{}, {"offered": 0}])
+        assert policy.weights == [1.0, 1.0]
+
+    def test_observe_validates_section_count(self):
+        policy = FeedbackPlacement()
+        policy.reset(2)
+        with pytest.raises(ValueError, match="one section per node"):
+            policy.observe_reports([{}])
+        with pytest.raises(ValueError, match="reset"):
+            FeedbackPlacement().observe_reports([{}])
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError, match="gain"):
+            FeedbackPlacement(gain=-1.0)
+        with pytest.raises(ValueError, match="min_weight"):
+            FeedbackPlacement(min_weight=0.0)
+        with pytest.raises(ValueError, match="min_weight"):
+            FeedbackPlacement(min_weight=0.5, max_weight=0.75)
+
+
 class TestEstimates:
     def test_service_estimate_is_best_profile_time(self):
         job = make_jobs(seed=3, count=1)[0]
@@ -191,10 +391,64 @@ class TestEstimates:
         expected = max(p.fill_bytes for p in job.profiles.values())
         assert job_fill_bytes(job) == pytest.approx(expected)
 
+    def test_capacity_aware_estimate_is_slower_without_best_kind(self):
+        job = make_jobs(seed=3, count=1)[0]
+        reference = estimate_service_time(job)
+        times = {
+            k: p.total_time(p.unit_arrays) for k, p in job.profiles.items()
+        }
+        fastest = min(times, key=times.get)
+        # A node missing the job's fastest device kind must honestly
+        # estimate the next-best option.
+        full = full_system()
+        partial = MLIMPSystem(
+            specs={k: s for k, s in full.specs.items() if k != fastest}
+        )
+        estimate = estimate_service_time(job, partial)
+        assert estimate >= reference
+        if len(times) > 1:
+            expected = min(t for k, t in times.items() if k != fastest)
+            assert estimate == pytest.approx(expected)
+
+    def test_estimate_matches_reference_on_full_capacity(self):
+        job = make_jobs(seed=3, count=1)[0]
+        assert estimate_service_time(job, full_system()) == (
+            estimate_service_time(job)
+        )
+
+    def test_estimate_falls_back_when_nothing_is_runnable(self):
+        import dataclasses
+
+        job = make_jobs(seed=3, count=1)[0]
+        assert all(p.unit_arrays > 1 for p in job.profiles.values())
+        tiny = MLIMPSystem(
+            specs={
+                k: dataclasses.replace(s, num_arrays=1)
+                for k, s in full_system().specs.items()
+            }
+        )
+        assert estimate_service_time(job, tiny) == estimate_service_time(job)
+
+
+class TestContentionMode:
+    def test_modes_and_default(self):
+        assert CONTENTION_MODES == ("none", "shared")
+        assert InterconnectSpec().contention == "none"
+        assert InterconnectSpec(contention="shared").contention == "shared"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="contention"):
+            InterconnectSpec(contention="fluid")
+
 
 class TestRegistry:
     def test_placement_names(self):
-        assert set(PLACEMENTS) == {"least-loaded", "hash", "round-robin"}
+        assert set(PLACEMENTS) == {
+            "least-loaded",
+            "feedback",
+            "hash",
+            "round-robin",
+        }
         for name, cls in PLACEMENTS.items():
             assert cls.name == name
 

@@ -1,0 +1,198 @@
+"""Differential suite for the contended interconnect.
+
+Three guarantees gate the shared-link fluid model:
+
+* ``contention="none"`` is **byte-identical** to the historical
+  fixed-pricing output -- same delays (to the bit: the exact
+  ``delay += transfer_time(...)`` accumulation is preserved), same
+  report, same stats schema (no contention/migration keys appear);
+* the shared model never *shortens* any delay: every transfer begins
+  no earlier than its issue time, so each job's contended delay is
+  >= its uncontended delay;
+* sharding stays invariant under contention -- the fluid queues live
+  entirely in pass 1, before the per-node simulations fan out.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster import (
+    ClusterRuntime,
+    ClusterSpec,
+    InterconnectSpec,
+    home_node,
+)
+from repro.harness.config import full_system
+from repro.serving import PoissonArrivals, Tenant
+from repro.serving.arrivals import TimelineArrivals
+from repro.sim.events import JobArrival
+from tests.prophelpers import make_jobs
+
+SLO_S = 0.01
+TENANTS = ("a", "b", "c")
+
+
+def _tenants() -> list[Tenant]:
+    return [Tenant(name) for name in TENANTS]
+
+
+def _arrivals(rate: float = 4e3, horizon: float = 0.02, seed: int = 7):
+    return PoissonArrivals(
+        rate=rate, horizon=horizon, seed=seed, tenants=TENANTS
+    )
+
+
+def _serve(contention: str, *, placement: str = "round-robin",
+           shards: int | None = None, interconnect: InterconnectSpec | None = None):
+    interconnect = interconnect or InterconnectSpec(contention=contention)
+    runtime = ClusterRuntime(
+        ClusterSpec.homogeneous(
+            4, system=full_system(), interconnect=interconnect
+        ),
+        placement=placement,
+    )
+    return runtime.serve(
+        _arrivals(), tenants=_tenants(), slo_s=SLO_S, shards=shards
+    )
+
+
+def _dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+# ======================================================================
+# contention="none" is the historical model, byte for byte
+# ======================================================================
+def test_none_mode_is_byte_identical_to_default_spec():
+    explicit = _serve("none")
+    default = _serve("none", interconnect=InterconnectSpec())
+    assert _dumps(explicit.as_dict()) == _dumps(default.as_dict())
+    assert _dumps(explicit.node_payloads) == _dumps(default.node_payloads)
+
+
+def test_none_mode_delays_match_closed_form_pricing():
+    # One foreign tenant, one handoff + one replica fill: the delay is
+    # the PR-7 arithmetic exactly (same accumulation order, == not
+    # approx -- FP addition is order-sensitive and the pin is bitwise).
+    tenant = next(t for t in ("a", "b", "c", "d") if home_node(t, 2) == 0)
+    interconnect = InterconnectSpec()
+    spec = ClusterSpec.homogeneous(
+        2, system=full_system(), interconnect=interconnect
+    )
+    job = make_jobs(seed=5, count=2)[1]
+    runtime = ClusterRuntime(spec, placement="round-robin")
+    result = runtime.serve(
+        TimelineArrivals(
+            arrivals=(
+                JobArrival(
+                    time=0.001, seq=0, tenant=tenant,
+                    job=make_jobs(seed=5, count=1)[0],
+                ),
+                JobArrival(time=0.002, seq=1, tenant=tenant, job=job),
+            )
+        ),
+        tenants=[Tenant(tenant)],
+        slo_s=SLO_S,
+    )
+    nbytes = max(p.fill_bytes for p in job.profiles.values())
+    expected = interconnect.transfer_time(nbytes)
+    expected += interconnect.transfer_time(interconnect.replica_bytes(nbytes))
+    assert result.stats.delays == {job.job_id: expected}
+
+
+def test_none_mode_emits_no_contention_or_migration_keys():
+    result = _serve("none")
+    summary = result.stats.as_dict()
+    assert "contention" not in summary
+    assert "migrations" not in summary
+    assert result.stats.queue_delays == []
+    assert result.stats.peak_inflight_bytes == 0.0
+
+
+# ======================================================================
+# Contention only ever adds delay
+# ======================================================================
+def test_shared_never_shortens_any_delay():
+    none = _serve("none")
+    shared = _serve("shared")
+    assert none.stats.delays  # the scenario does produce handoffs
+    assert set(shared.stats.delays) == set(none.stats.delays)
+    for job_id, base in none.stats.delays.items():
+        assert shared.stats.delays[job_id] >= base * (1 - 1e-12)
+    # And this scenario genuinely queues: strictly longer somewhere.
+    assert sum(shared.stats.delays.values()) > sum(none.stats.delays.values())
+
+
+def test_simultaneous_transfers_queue_on_one_link():
+    # Four same-instant arrivals of one tenant, round-robin across two
+    # nodes: the two handed-off jobs share the (home, foreign) link,
+    # so the second must wait out the first (and its replica fill).
+    tenant = next(t for t in ("a", "b", "c", "d") if home_node(t, 2) == 0)
+    interconnect = InterconnectSpec(contention="shared")
+    spec = ClusterSpec.homogeneous(
+        2, system=full_system(), interconnect=interconnect
+    )
+    jobs = make_jobs(seed=9, count=4)
+    runtime = ClusterRuntime(spec, placement="round-robin")
+    result = runtime.serve(
+        TimelineArrivals(
+            arrivals=tuple(
+                JobArrival(time=0.001, seq=i, tenant=tenant, job=jobs[i])
+                for i in range(4)
+            )
+        ),
+        tenants=[Tenant(tenant)],
+        slo_s=SLO_S,
+    )
+    stats = result.stats
+    assert stats.handoffs == 2
+    assert any(d > 0 for d in stats.queue_delays)
+    assert stats.peak_inflight_bytes > 0
+    delays = sorted(stats.delays.values())
+    assert delays[1] > delays[0]  # the queued job landed later
+
+
+# ======================================================================
+# Accounting and shard invariance under contention
+# ======================================================================
+def test_contention_accounting_reconciles():
+    result = _serve("shared")
+    stats = result.stats
+    # One ship() per handoff, plus one per replica fill.
+    assert len(stats.queue_delays) == stats.handoffs + stats.replicas
+    assert all(d >= 0 for d in stats.queue_delays)
+    assert stats.peak_inflight_bytes > 0
+    summary = stats.as_dict()
+    block = summary["contention"]
+    assert block["model"] == "shared"
+    assert block["transfers"] == len(stats.queue_delays)
+    queued = [d for d in stats.queue_delays if d > 0]
+    assert block["queued"] == len(queued)
+    assert block["queue_delay_s"]["count"] == len(queued)
+    assert block["queue_delay_s"]["max"] == (max(queued) if queued else 0.0)
+    assert sum(block["queue_delay_histogram"].values()) == len(queued)
+    assert block["peak_inflight_bytes"] == stats.peak_inflight_bytes
+
+
+def test_sharded_contended_run_byte_identical():
+    serial = _serve("shared", shards=1)
+    pooled = _serve("shared", shards=4)
+    assert _dumps(serial.as_dict()) == _dumps(pooled.as_dict())
+    assert _dumps(serial.node_payloads) == _dumps(pooled.node_payloads)
+
+
+def test_contended_run_is_deterministic():
+    first = _serve("shared")
+    second = _serve("shared")
+    assert _dumps(first.as_dict()) == _dumps(second.as_dict())
+
+
+def test_hash_placement_sees_no_contention():
+    # Hash pins every tenant home: no transfers, so the shared model
+    # has nothing to queue and the report matches none-mode exactly.
+    shared = _serve("shared", placement="hash")
+    none = _serve("none", placement="hash")
+    assert shared.stats.handoffs == 0
+    assert shared.stats.queue_delays == []
+    assert _dumps(shared.report.as_dict()) == _dumps(none.report.as_dict())

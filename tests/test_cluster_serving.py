@@ -27,13 +27,18 @@ import pytest
 from repro.cluster import (
     ClusterRuntime,
     ClusterSpec,
+    InterconnectSpec,
     NodeFault,
+    home_node,
 )
 from repro.faults import FaultPlan
 from repro.faults.plan import FaultEvent, FaultKind
 from repro.harness.config import full_system, gnn_system
 from repro.obs.export import result_payload
 from repro.serving import PoissonArrivals, ServingRuntime, Tenant
+from repro.serving.arrivals import TimelineArrivals
+from repro.sim.events import JobArrival
+from tests.prophelpers import make_jobs
 
 SLO_S = 0.01
 
@@ -263,3 +268,118 @@ def test_all_nodes_dead_counts_losses_as_shed():
 def test_unknown_fault_node_raises():
     with pytest.raises(KeyError):
         _cluster_serve(2, node_faults=(NodeFault(node="nope", time=0.1),))
+
+
+# ======================================================================
+# Effective home: a rehomed tenant stops paying handoffs (bugfix)
+# ======================================================================
+def test_rehomed_tenants_stop_paying_handoffs():
+    # Regression: handoffs were charged against the salt-0 home, so a
+    # tenant whose home died under HashPlacement paid a handoff (and
+    # first-landing replica bookkeeping) on every job forever, even
+    # though it had rehashed to a stable new home.
+    assert any(home_node(t, 2) == 1 for t in ("a", "b", "c"))
+    result = _cluster_serve(
+        2,
+        placement="hash",
+        node_faults=(NodeFault(node="node-1", time=1e-9),),
+    )
+    # Every arrival lands on the survivor, which IS every tenant's
+    # effective (rehashed) home: no interconnect traffic at all.
+    assert result.stats.placed["node-1"] == 0
+    assert result.stats.handoffs == 0
+    assert result.stats.replicas == 0
+    assert result.stats.delays == {}
+
+
+# ======================================================================
+# Migration: delayed landings never reach a dead node (bugfix)
+# ======================================================================
+def _timeline(tenant: str, times: list[float]) -> TimelineArrivals:
+    jobs = make_jobs(seed=11, count=len(times))
+    return TimelineArrivals(
+        arrivals=tuple(
+            JobArrival(time=t, seq=i, tenant=tenant, job=jobs[i])
+            for i, t in enumerate(times)
+        )
+    )
+
+
+def test_handoff_delay_past_fault_migrates_instead_of_delivering():
+    # Regression: candidate filtering used the pre-delay arrival time,
+    # so a job whose handoff delay carried it past its node's fault
+    # was delivered into the dead node's failure path.  A slow fabric
+    # (50 ms latency) guarantees the second arrival, handed off to
+    # node-1, lands well after node-1 dies at t=10 ms.
+    tenant = next(t for t in ("a", "b", "c", "d") if home_node(t, 2) == 0)
+    spec = ClusterSpec.homogeneous(
+        2,
+        system=full_system(),
+        interconnect=InterconnectSpec(latency_s=0.05),
+    )
+    runtime = ClusterRuntime(spec, placement="round-robin")
+    result = runtime.serve(
+        _timeline(tenant, [0.001, 0.002]),
+        tenants=[Tenant(tenant)],
+        slo_s=SLO_S,
+        node_faults=(NodeFault(node="node-1", time=0.01),),
+    )
+    stats = result.stats
+    assert stats.migrations >= 1
+    assert stats.migration_bytes > 0
+    # Nothing was delivered to (or lost on) the dead node: both jobs
+    # ran to completion on the survivor.
+    assert stats.placed == {"node-0": 2, "node-1": 0}
+    assert stats.total_lost == 0
+    assert result.report.completed == 2
+    assert result.node_reports["node-1"].offered == 0
+    # The migrated job's recorded delay covers both hops.
+    migrated = max(stats.delays.values())
+    assert migrated > 0.05
+    summary = stats.as_dict()
+    assert summary["migrations"]["count"] == stats.migrations
+
+
+def test_migration_with_no_survivor_counts_as_lost():
+    tenant = next(t for t in ("a", "b", "c", "d") if home_node(t, 2) == 0)
+    spec = ClusterSpec.homogeneous(
+        2,
+        system=full_system(),
+        interconnect=InterconnectSpec(latency_s=0.05),
+    )
+    runtime = ClusterRuntime(spec, placement="round-robin")
+    # Node-1 dies at 10 ms; node-0 dies at 20 ms -- before the
+    # handed-off job's ~51 ms landing, leaving nowhere to migrate to.
+    result = runtime.serve(
+        _timeline(tenant, [0.001, 0.002]),
+        tenants=[Tenant(tenant)],
+        slo_s=SLO_S,
+        node_faults=(
+            NodeFault(node="node-0", time=0.02),
+            NodeFault(node="node-1", time=0.01),
+        ),
+    )
+    assert result.stats.total_lost >= 1
+
+
+# ======================================================================
+# Heterogeneous fleets: capacity-aware placement
+# ======================================================================
+def test_big_node_absorbs_more_of_a_saturating_stream():
+    spec = ClusterSpec.heterogeneous(
+        {"node-0": 1.0, "node-1": 4.0}, system=gnn_system()
+    )
+    runtime = ClusterRuntime(spec, placement="least-loaded")
+    result = runtime.serve(
+        PoissonArrivals(
+            rate=6e6, horizon=5e-4, seed=20, tenants=("a", "b", "c")
+        ),
+        tenants=_tenants(),
+        slo_s=SLO_S,
+        shards=2,
+    )
+    placed = result.stats.placed
+    # The 4x node drains backlog four times as fast: under sustained
+    # saturation it must attract the bulk of the placements.
+    assert placed["node-1"] > 2 * placed["node-0"]
+    assert result.report.offered == placed["node-0"] + placed["node-1"]

@@ -98,6 +98,22 @@ class TestCLIDocs:
         for flag in flags:
             assert f'"{flag}"' in source, f"README shows unknown {flag}"
 
+    def test_cluster_doc_covers_contention_features(self):
+        """docs/CLUSTER.md documents the contended-cluster surface, and
+        everything it names is real: the flags exist in argparse and
+        the feedback policy is registered."""
+        from repro.cluster import PLACEMENTS
+
+        source = (REPO_ROOT / "src" / "repro" / "__main__.py").read_text()
+        doc = (REPO_ROOT / "docs" / "CLUSTER.md").read_text()
+        for flag in ("--node-spec", "--contention", "--placement"):
+            assert flag in doc, f"CLUSTER.md misses {flag}"
+            assert f'"{flag}"' in source, f"CLUSTER.md shows unknown {flag}"
+        assert "feedback" in doc
+        assert "feedback" in PLACEMENTS
+        for topic in ("contention", "heterogeneous", "migration"):
+            assert topic in doc.lower(), f"CLUSTER.md misses {topic}"
+
 
 class TestServingDoctests:
     def test_serving_doctests_pass(self):

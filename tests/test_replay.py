@@ -204,6 +204,35 @@ def test_cluster_replay_deterministic_and_scaled():
         assert row["utilisation_max"] > 0.0
 
 
+def test_feedback_cluster_replay_deterministic_with_weights():
+    cfg = dataclasses.replace(
+        SMALL, windows=3, nodes=2, placement="feedback"
+    )
+    a, b = run_replay(cfg), run_replay(cfg)
+    assert payload_json(a) == payload_json(b)
+    weights = a["placement_weights"]
+    assert len(weights) == 2
+    assert all(w > 0 for w in weights)
+    # A non-feedback cluster replay carries no weights key at all.
+    plain = run_replay(dataclasses.replace(SMALL, windows=2, nodes=2))
+    assert "placement_weights" not in plain
+
+
+def test_feedback_replay_resume_byte_identical(tmp_path):
+    cfg = dataclasses.replace(
+        SMALL, windows=3, nodes=2, placement="feedback"
+    )
+    straight = run_replay(cfg)
+    ck = tmp_path / "ck.json"
+    assert run_replay(cfg, checkpoint_path=ck, halt_after=1) is None
+    state = load_checkpoint(ck)
+    # The learned weights ride the checkpoint so the resumed policy
+    # picks up mid-education, not from scratch.
+    assert len(state["placement_weights"]) == 2
+    resumed = resume_replay(ck)
+    assert payload_json(resumed) == payload_json(straight)
+
+
 def test_replay_horizon_registered():
     from repro.harness.experiments import full_registry
 
